@@ -1,0 +1,52 @@
+// Fig. 12: meta-service scalability. m = 3/6/9/12 meta machines; the data
+// path is made free (near-zero-latency "pseudo data servers" that just ack)
+// so the meta service is the only bottleneck; m client groups saturate it
+// with 8KB puts. The paper shows near-linear aggregate throughput, with RAM
+// disks as the upper bound.
+#include "bench/bench_util.h"
+
+namespace cheetah::bench {
+namespace {
+
+double Measure(int meta_machines, bool ram_disk) {
+  core::TestbedConfig config = PaperCheetahConfig();
+  config.meta_machines = meta_machines;
+  config.proxies = meta_machines;  // m client groups
+  config.data_machines = 9;
+  // Pseudo data servers: acknowledge instantly.
+  config.data_disk = sim::DiskParams{.write_base = 0,
+                                     .write_bw_bytes_per_sec = 1e15,
+                                     .read_base = 0,
+                                     .read_bw_bytes_per_sec = 1e15,
+                                     .fsync_base = 0,
+                                     .channels = 64};
+  if (ram_disk) {
+    config.meta_disk = sim::DiskParams::RamDisk();
+  }
+  config.pg_count = std::max(64, meta_machines * 16);
+  // lvs = data_machines*disks*pvs/replication must cover pg_count.
+  config.pvs_per_disk =
+      (config.pg_count * config.replication + (9 * 4) - 1) / (9 * 4) + 1;
+  auto bench = MakeCheetah(std::move(config));
+  auto r = RunPuts(bench.loop(), bench.clients, "scale-", ScaledOps(8000), KiB(8),
+                   meta_machines * 500);
+  return r.throughput.OpsPerSec();
+}
+
+}  // namespace
+}  // namespace cheetah::bench
+
+int main() {
+  using namespace cheetah;
+  using namespace cheetah::bench;
+
+  PrintTitle("Fig. 12: meta-service aggregate throughput (req/sec)");
+  PrintTableHeader({"meta machines", "SSD", "RAM disk"});
+  for (int m : {3, 6, 9, 12}) {
+    const double ssd = Measure(m, false);
+    const double ram = Measure(m, true);
+    std::printf("%-18d%-18.0f%-18.0f\n", m, ssd, ram);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig. 14: in-expansion performance. After preloading objects, one machine
+// is added to the meta service (Cheetah / Cheetah-NoVG) or the OSD cluster
+// (Ceph) and put/get performance is measured while any induced migration is
+// in flight. VGs make Cheetah unaffected; Cheetah-NoVG chases its data to
+// the reshuffled volumes; Ceph backfills remapped PGs.
+#include "bench/bench_util.h"
+
+namespace cheetah::bench {
+namespace {
+
+struct Numbers {
+  double put_ms = 0;
+  double get_ms = 0;
+  double put_tput = 0;
+  double get_tput = 0;
+};
+
+Numbers MeasureDuring(sim::EventLoop& loop,
+                      std::vector<std::pair<sim::Actor*, workload::ObjectStore*>> clients,
+                      const std::vector<std::string>& names, uint64_t ops) {
+  Numbers out;
+  {  // latency at conc 20 (Fig. 14a)
+    auto put = RunPuts(loop, clients, "exp-lat-", ops / 4, KiB(64), 20);
+    out.put_ms = put.put.MeanMillis();
+    auto get = RunGets(loop, clients, names, ops / 4, 20);
+    out.get_ms = get.get.MeanMillis();
+  }
+  {  // throughput at conc 500 (Fig. 14b)
+    auto put = RunPuts(loop, clients, "exp-tp-", ops, KiB(64), 500);
+    out.put_tput = put.throughput.OpsPerSec();
+    auto get = RunGets(loop, clients, names, ops, 500);
+    out.get_tput = get.throughput.OpsPerSec();
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace cheetah::bench
+
+int main() {
+  using namespace cheetah;
+  using namespace cheetah::bench;
+
+  const uint64_t preload = ScaledOps(8000);
+  const uint64_t ops = ScaledOps(4000);
+
+  std::vector<std::pair<std::string, Numbers>> rows;
+
+  {
+    auto bench = MakeCheetah();
+    auto names =
+        workload::Preload(bench.loop(), bench.clients, "pre-", preload, KiB(64));
+    auto added = bench.bed->AddMetaMachine();
+    if (!added.ok()) {
+      std::fprintf(stderr, "cheetah expansion failed: %s\n", added.status().ToString().c_str());
+      return 1;
+    }
+    rows.emplace_back("Cheetah", MeasureDuring(bench.loop(), bench.clients, names, ops));
+  }
+  {
+    core::CheetahOptions options;
+    options.no_volume_groups = true;
+    auto bench = MakeCheetah(PaperCheetahConfig(options));
+    auto names =
+        workload::Preload(bench.loop(), bench.clients, "pre-", preload, KiB(64));
+    // Do not settle: measure while the PG-data migration runs.
+    auto added = bench.bed->AddMetaMachine(/*settle=*/false);
+    if (!added.ok()) {
+      std::fprintf(stderr, "novg expansion failed: %s\n", added.status().ToString().c_str());
+      return 1;
+    }
+    rows.emplace_back("Cheetah-NoVG",
+                      MeasureDuring(bench.loop(), bench.clients, names, ops));
+  }
+  {
+    auto bench = MakeCeph();
+    auto names =
+        workload::Preload(bench.loop(), bench.clients, "pre-", preload, KiB(64));
+    bench.cluster->AddOsd();  // backfill starts
+    rows.emplace_back("Ceph in Migration",
+                      MeasureDuring(bench.loop(), bench.clients, names, ops));
+  }
+
+  PrintTitle("Fig. 14a: in-expansion latency, 64KB conc 20 (ms)");
+  PrintTableHeader({"system", "PUT", "GET"});
+  for (const auto& [name, n] : rows) {
+    std::printf("%-18s%-18.3f%-18.3f\n", name.c_str(), n.put_ms, n.get_ms);
+  }
+  PrintTitle("Fig. 14b: in-expansion throughput, 64KB conc 500 (req/sec)");
+  PrintTableHeader({"system", "PUT", "GET"});
+  for (const auto& [name, n] : rows) {
+    std::printf("%-18s%-18.0f%-18.0f\n", name.c_str(), n.put_tput, n.get_tput);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 16: characteristics of the synthesized production trace — per-day
+// op-type ratios (writes dominate, deletes substantial because objects have
+// lifecycles) and the object-size histogram (448-512KB dominates at ~56%).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cheetah;
+  using namespace cheetah::bench;
+
+  PrintTitle("Fig. 16a: per-day op ratios of the synthesized 21-day trace (%)");
+  PrintTableHeader({"day", "PUT", "GET", "DELETE"});
+  auto days = workload::TraceOpRatios(21);
+  for (size_t d = 0; d < days.size(); ++d) {
+    std::printf("%-18zu%-18.1f%-18.1f%-18.1f\n", d + 1, days[d].put_ratio * 100,
+                days[d].get_ratio * 100, days[d].delete_ratio * 100);
+  }
+
+  PrintTitle("Fig. 16b: object-size histogram (%, 64KB buckets)");
+  PrintTableHeader({"bucket (KB)", "fraction"});
+  Rng rng(0x516e);
+  auto dist = workload::TraceSize();
+  std::vector<uint64_t> buckets(8, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t size = dist(rng);
+    buckets[std::min<uint64_t>(7, size / KiB(64))]++;
+  }
+  const char* labels[] = {"0-64",    "64-128",  "128-192", "192-256",
+                          "256-320", "320-384", "384-448", "448-512"};
+  for (int b = 0; b < 8; ++b) {
+    std::printf("%-18s%-18.1f\n", labels[b],
+                100.0 * static_cast<double>(buckets[b]) / n);
+  }
+  return 0;
+}

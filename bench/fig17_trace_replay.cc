@@ -1,0 +1,79 @@
+// Fig. 17: replay of the synthesized production trace (Fig. 16's op and
+// size distributions, timestamps ignored as in the paper) against Cheetah,
+// Haystack, and Ceph. Reports mean PUT/DEL/ALL latency and overall
+// throughput. Paper shape: Cheetah ahead of Haystack on every metric, both
+// ahead of Ceph on throughput.
+#include "bench/bench_util.h"
+
+namespace cheetah::bench {
+namespace {
+
+struct TraceResult {
+  double put_ms, del_ms, all_ms, tput;
+};
+
+TraceResult Replay(sim::EventLoop& loop,
+                   std::vector<std::pair<sim::Actor*, workload::ObjectStore*>> clients) {
+  const uint64_t ops_per_day = ScaledOps(800);
+  auto days = workload::TraceOpRatios(21);
+  workload::NamePool pool("trace-");
+  workload::LatencyRecorder put, del, all;
+  uint64_t total_ops = 0;
+  const Nanos t0 = loop.Now();
+  auto sizes = workload::TraceSize();
+  for (const auto& day : days) {
+    workload::MixedWorkload mix(day.put_ratio, day.delete_ratio, sizes, &pool);
+    workload::RunnerConfig config;
+    config.concurrency = 50;
+    config.total_ops = ops_per_day;
+    workload::Runner runner(loop, clients, config);
+    auto results = runner.Run(
+        [&mix](Rng& rng) { return mix.Next(rng); },
+        [&pool](const std::string& name) { pool.Add(name); });
+    // Fold the day's samples into the trace totals.
+    put.Merge(results.put);
+    del.Merge(results.del);
+    all.Merge(results.all);
+    total_ops += results.all.count();
+  }
+  TraceResult out;
+  out.put_ms = put.MeanMillis();
+  out.del_ms = del.MeanMillis();
+  out.all_ms = all.MeanMillis();
+  out.tput = static_cast<double>(total_ops) / (static_cast<double>(loop.Now() - t0) / 1e9);
+  return out;
+}
+
+}  // namespace
+}  // namespace cheetah::bench
+
+int main() {
+  using namespace cheetah;
+  using namespace cheetah::bench;
+
+  std::vector<std::pair<std::string, TraceResult>> rows;
+  {
+    auto bench = MakeCheetah();
+    rows.emplace_back("Cheetah", Replay(bench.loop(), bench.clients));
+  }
+  {
+    auto bench = MakeHaystack();
+    rows.emplace_back("Haystack", Replay(bench.loop(), bench.clients));
+  }
+  {
+    auto bench = MakeCeph();
+    rows.emplace_back("Ceph (BlueStore)", Replay(bench.loop(), bench.clients));
+  }
+
+  PrintTitle("Fig. 17a: trace-replay mean latency (ms)");
+  PrintTableHeader({"system", "PUT", "DEL", "ALL"});
+  for (const auto& [name, r] : rows) {
+    std::printf("%-18s%-18.2f%-18.2f%-18.2f\n", name.c_str(), r.put_ms, r.del_ms, r.all_ms);
+  }
+  PrintTitle("Fig. 17b: trace-replay throughput (req/sec)");
+  PrintTableHeader({"system", "ALL"});
+  for (const auto& [name, r] : rows) {
+    std::printf("%-18s%-18.0f\n", name.c_str(), r.tput);
+  }
+  return 0;
+}

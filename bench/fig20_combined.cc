@@ -1,0 +1,36 @@
+// Fig. 20: YCSB-style combined workloads. Delete ratio fixed at 10%, put
+// ratio swept 10%..80% (gets take the rest), object sizes uniform in
+// 4..512KB, concurrency 20. The paper shows throughput declining gently as
+// the put ratio grows — Cheetah handles write-heavy mixes gracefully.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cheetah;
+  using namespace cheetah::bench;
+
+  PrintTitle("Fig. 20: combined-workload throughput (req/sec, conc 20)");
+  PrintTableHeader({"PUT ratio (%)", "req/sec", "mean ms"});
+  for (int put_pct : {10, 20, 30, 40, 50, 60, 70, 80}) {
+    auto bench = MakeCheetah();
+    workload::NamePool pool("ycsb-");
+    // Seed the pool so early gets have targets.
+    auto seeded = workload::Preload(bench.loop(), bench.clients, "seed-",
+                                    ScaledOps(500), KiB(64));
+    for (auto& name : seeded) {
+      pool.Add(std::move(name));
+    }
+    workload::MixedWorkload mix(put_pct / 100.0, 0.10,
+                                workload::UniformSize(KiB(4), KiB(512)), &pool);
+    workload::RunnerConfig config;
+    config.concurrency = 20;
+    config.total_ops = ScaledOps(3000);
+    workload::Runner runner(bench.loop(), bench.clients, config);
+    auto results = runner.Run(
+        [&mix](Rng& rng) { return mix.Next(rng); },
+        [&pool](const std::string& name) { pool.Add(name); });
+    std::printf("%-18d%-18.0f%-18.2f\n", put_pct, results.throughput.OpsPerSec(),
+                results.all.MeanMillis());
+    std::fflush(stdout);
+  }
+  return 0;
+}

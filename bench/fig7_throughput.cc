@@ -1,0 +1,50 @@
+// Fig. 7: put throughput (requests/sec) as client-side concurrency grows
+// from 100 to 1000, for 8KB/64KB/512KB objects, Cheetah vs Haystack.
+//
+// Paper shape: Cheetah is substantially ahead while the system is
+// underloaded (throughput = concurrency / per-op latency); near saturation
+// the gap narrows to a modest peak advantage.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cheetah;
+  using namespace cheetah::bench;
+
+  const std::vector<int> concurrencies = {100, 200, 400, 600, 800, 1000};
+  const std::vector<std::pair<uint64_t, const char*>> sizes = {
+      {KiB(8), "8KB"}, {KiB(64), "64KB"}, {KiB(512), "512KB"}};
+
+  PrintTitle("Fig. 7: PUT throughput (req/sec) vs concurrency");
+  std::vector<std::string> cols = {"series"};
+  for (int c : concurrencies) {
+    cols.push_back(std::to_string(c));
+  }
+  PrintTableHeader(cols);
+
+  for (const auto& [size, size_label] : sizes) {
+    for (const bool cheetah : {true, false}) {
+      std::printf("%-18s", ((cheetah ? std::string("Cheetah-") : std::string("Haystack-")) +
+                            size_label)
+                               .c_str());
+      for (int concurrency : concurrencies) {
+        const uint64_t ops = ScaledOps(size >= KiB(512) ? 2000 : 6000);
+        double tput = 0;
+        const std::string prefix =
+            std::string(size_label) + "-c" + std::to_string(concurrency) + "-";
+        if (cheetah) {
+          auto bench = MakeCheetah();
+          auto r = RunPuts(bench.loop(), bench.clients, prefix, ops, size, concurrency);
+          tput = r.throughput.OpsPerSec();
+        } else {
+          auto bench = MakeHaystack();
+          auto r = RunPuts(bench.loop(), bench.clients, prefix, ops, size, concurrency);
+          tput = r.throughput.OpsPerSec();
+        }
+        std::printf("%-18.0f", tput);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

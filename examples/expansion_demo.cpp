@@ -1,0 +1,99 @@
+// Expansion demo: the §4.2 hybrid-mapping story, live. Grow the data
+// cluster (new volumes join existing VGs; zero migration), then grow the
+// meta cluster (CRUSH remaps PGs; metadata moves, object data does not) —
+// and contrast with what Cheetah-NoVG would have done.
+//
+//   $ ./build/examples/expansion_demo
+#include <cstdio>
+
+#include "src/core/testbed.h"
+
+using namespace cheetah;
+
+namespace {
+
+uint64_t TotalDataWrites(core::Testbed& bed) {
+  uint64_t writes = 0;
+  for (int i = 0; i < bed.num_data(); ++i) {
+    writes += bed.data(i).stats().writes;
+  }
+  return writes;
+}
+
+}  // namespace
+
+int main() {
+  core::TestbedConfig config;
+  config.meta_machines = 3;
+  config.data_machines = 4;
+  config.proxies = 1;
+  config.pg_count = 8;
+  config.disks_per_data_machine = 2;
+  config.pvs_per_disk = 3;
+  config.lv_capacity_bytes = MiB(256);
+  config.store_volume_content = false;
+
+  core::Testbed bed(std::move(config));
+  if (Status s = bed.Boot(); !s.ok()) {
+    std::printf("boot failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("loading 300 objects (64KB each)...\n");
+  for (int i = 0; i < 300; ++i) {
+    if (!bed.PutObject(0, "obj-" + std::to_string(i), std::string(65536, 'o')).ok()) {
+      std::printf("load failed at %d\n", i);
+      return 1;
+    }
+  }
+  bed.RunFor(Seconds(2));
+  const uint64_t writes_loaded = TotalDataWrites(bed);
+  std::printf("cluster: view=%llu, data writes so far=%llu\n\n",
+              static_cast<unsigned long long>(bed.proxy(0).view()),
+              static_cast<unsigned long long>(writes_loaded));
+
+  // --- data expansion: new volumes join the existing VGs ---
+  std::printf("[1] adding a data machine (2 disks x 3 PVs)...\n");
+  auto d = bed.AddDataMachine(2, 3);
+  if (!d.ok()) {
+    std::printf("  failed: %s\n", d.status().ToString().c_str());
+    return 1;
+  }
+  bed.RunFor(Seconds(1));
+  std::printf("  view=%llu; extra data writes since load: %llu (0 = migration-free)\n",
+              static_cast<unsigned long long>(bed.proxy(0).view()),
+              static_cast<unsigned long long>(TotalDataWrites(bed) - writes_loaded));
+
+  // --- meta expansion: PGs re-CRUSH, metadata moves, data stays ---
+  std::printf("\n[2] adding a meta machine (CRUSH remaps ~1/4 of the PGs)...\n");
+  auto m = bed.AddMetaMachine();
+  if (!m.ok()) {
+    std::printf("  failed: %s\n", m.status().ToString().c_str());
+    return 1;
+  }
+  bed.RunFor(Seconds(2));
+  std::printf("  view=%llu; MetaX KVs pulled by the new server: %llu\n",
+              static_cast<unsigned long long>(bed.proxy(0).view()),
+              static_cast<unsigned long long>(bed.meta(*m).stats().recovered_kvs));
+  uint64_t migrated = 0;
+  for (int i = 0; i < bed.num_meta(); ++i) {
+    migrated += bed.meta(i).stats().migrated_objects;
+  }
+  std::printf("  object data migrated: %llu (VGs pin data to volumes)\n",
+              static_cast<unsigned long long>(migrated));
+  std::printf("  extra data writes since load: %llu\n",
+              static_cast<unsigned long long>(TotalDataWrites(bed) - writes_loaded));
+
+  // Everything still reads.
+  int readable = 0;
+  for (int i = 0; i < 300; i += 7) {
+    readable += bed.GetObject(0, "obj-" + std::to_string(i)).ok();
+  }
+  std::printf("\nspot check after both expansions: %d/43 sampled objects readable\n",
+              readable);
+  std::printf(
+      "\n(For the contrast, run bench/fig14_expansion: Cheetah-NoVG migrates\n"
+      "object data after the same meta expansion and its in-migration GET\n"
+      "throughput collapses by >20x.)\n");
+  return 0;
+}

@@ -1,0 +1,547 @@
+#include "src/baselines/haystack.h"
+
+#include <algorithm>
+
+#include "src/common/coding.h"
+#include "src/common/crc32c.h"
+#include "src/common/logging.h"
+#include "src/sim/sync.h"
+
+namespace cheetah::baselines {
+
+namespace {
+
+std::string EncodeDirEntry(uint32_t volume) {
+  std::string out;
+  PutVarint64(&out, volume);
+  return out;
+}
+
+Result<uint32_t> DecodeDirEntry(std::string_view data) {
+  uint64_t v = 0;
+  if (!GetVarint64(&data, &v)) {
+    return Status::Corruption("dir entry");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+// ---- directory ----
+
+HaystackDirectory::HaystackDirectory(rpc::Node& rpc, const HaystackConfig& config,
+                                     bool primary, std::vector<sim::NodeId> dir_peers)
+    : rpc_(rpc), config_(config), primary_(primary), dir_peers_(std::move(dir_peers)) {}
+
+sim::Task<Status> HaystackDirectory::Start() {
+  kv::Options opts;
+  opts.name = "hsdir";
+  auto db = co_await kv::DB::Open(std::move(opts), &rpc_.machine().disk(0));
+  if (!db.ok()) {
+    co_return db.status();
+  }
+  db_ = std::move(*db);
+  rpc_.Serve<HsAssignRequest>([this](sim::NodeId src, HsAssignRequest req) {
+    return HandleAssign(src, std::move(req));
+  });
+  rpc_.Serve<HsLookupRequest>([this](sim::NodeId src, HsLookupRequest req) {
+    return HandleLookup(src, std::move(req));
+  });
+  rpc_.Serve<HsDirDeleteRequest>([this](sim::NodeId src, HsDirDeleteRequest req) {
+    return HandleDelete(src, std::move(req));
+  });
+  rpc_.Serve<HsDirReplicateRequest>([this](sim::NodeId src, HsDirReplicateRequest req) {
+    return HandleReplicate(src, std::move(req));
+  });
+  co_return Status::Ok();
+}
+
+sim::Task<Status> HaystackDirectory::ReplicateToPeers(std::string key, std::string value) {
+  std::vector<sim::Task<Status>> tasks;
+  for (sim::NodeId peer : dir_peers_) {
+    if (peer == rpc_.id()) {
+      continue;
+    }
+    tasks.push_back([](HaystackDirectory* self, sim::NodeId peer, std::string key,
+                       std::string value) -> sim::Task<Status> {
+      HsDirReplicateRequest rep;
+      rep.key = std::move(key);
+      rep.value = std::move(value);
+      auto r = co_await self->rpc_.Call(peer, std::move(rep), self->config_.rpc_timeout);
+      co_return r.ok() ? Status::Ok() : r.status();
+    }(this, peer, key, value));
+  }
+  auto results = co_await sim::WhenAll(std::move(tasks));
+  for (const Status& s : results) {
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<HsAssignReply>> HaystackDirectory::HandleAssign(sim::NodeId src,
+                                                                 HsAssignRequest req) {
+  if (!primary_ || db_ == nullptr) {
+    co_return Status::Unavailable("not the primary directory");
+  }
+  co_await rpc_.machine().cpu().Use(config_.dir_op_cpu);
+  // Immutability: reject a second put of a live name.
+  auto existing = co_await db_->Get("V_" + req.name);
+  if (existing.ok()) {
+    co_return Status::AlreadyExists("object exists (immutable)");
+  }
+  // Round-robin over volumes with room.
+  VolumeInfo* chosen = nullptr;
+  for (size_t i = 0; i < volumes_.size(); ++i) {
+    VolumeInfo& v = volumes_[(assign_cursor_ + i) % volumes_.size()];
+    if (v.assigned_bytes + req.size <= v.capacity) {
+      chosen = &v;
+      assign_cursor_ = (assign_cursor_ + i + 1) % volumes_.size();
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    co_return Status::ResourceExhausted("all volumes full");
+  }
+  chosen->assigned_bytes += req.size;
+  // Persist the volume metadata Mv before replying (Fig. 1 step (3)); the
+  // reply may not precede persistence or a failed put could orphan data.
+  const std::string key = "V_" + req.name;
+  const std::string value = EncodeDirEntry(chosen->id);
+  std::vector<sim::Task<Status>> tasks;
+  tasks.push_back(db_->Put(key, value));
+  tasks.push_back(ReplicateToPeers(key, value));
+  auto results = co_await sim::WhenAll(std::move(tasks));
+  for (const Status& s : results) {
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  HsAssignReply reply;
+  reply.volume = chosen->id;
+  reply.stores = chosen->stores;
+  co_return reply;
+}
+
+sim::Task<Result<HsLookupReply>> HaystackDirectory::HandleLookup(sim::NodeId src,
+                                                                 HsLookupRequest req) {
+  if (db_ == nullptr) {
+    co_return Status::Unavailable("initializing");
+  }
+  co_await rpc_.machine().cpu().Use(config_.dir_op_cpu);
+  auto value = co_await db_->Get("V_" + req.name);
+  if (!value.ok()) {
+    co_return value.status();
+  }
+  auto volume = DecodeDirEntry(*value);
+  if (!volume.ok()) {
+    co_return volume.status();
+  }
+  HsLookupReply reply;
+  reply.volume = *volume;
+  for (const auto& v : volumes_) {
+    if (v.id == *volume) {
+      reply.stores = v.stores;
+      break;
+    }
+  }
+  co_return reply;
+}
+
+sim::Task<Result<HsDirDeleteReply>> HaystackDirectory::HandleDelete(sim::NodeId src,
+                                                                    HsDirDeleteRequest req) {
+  if (!primary_ || db_ == nullptr) {
+    co_return Status::Unavailable("not the primary directory");
+  }
+  co_await rpc_.machine().cpu().Use(config_.dir_op_cpu);
+  auto existing = co_await db_->Get("V_" + req.name);
+  if (!existing.ok()) {
+    co_return existing.status();
+  }
+  std::vector<sim::Task<Status>> tasks;
+  tasks.push_back(db_->Delete("V_" + req.name));
+  tasks.push_back(ReplicateToPeers("V_" + req.name, ""));
+  auto results = co_await sim::WhenAll(std::move(tasks));
+  for (const Status& s : results) {
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  co_return HsDirDeleteReply{};
+}
+
+sim::Task<Result<HsDirReplicateReply>> HaystackDirectory::HandleReplicate(
+    sim::NodeId src, HsDirReplicateRequest req) {
+  if (db_ == nullptr) {
+    co_return Status::Unavailable("initializing");
+  }
+  // Note: two separate statements — GCC 12 miscompiles co_await inside a
+  // conditional expression.
+  Status s;
+  if (req.value.empty()) {
+    s = co_await db_->Delete(req.key);
+  } else {
+    s = co_await db_->Put(req.key, req.value);
+  }
+  if (!s.ok()) {
+    co_return s;
+  }
+  co_return HsDirReplicateReply{};
+}
+
+// ---- store ----
+
+HaystackStore::HaystackStore(rpc::Node& rpc, const HaystackConfig& config)
+    : rpc_(rpc), config_(config) {}
+
+void HaystackStore::Start() {
+  rpc_.Serve<HsWriteRequest>([this](sim::NodeId src, HsWriteRequest req) {
+    return HandleWrite(src, std::move(req));
+  });
+  rpc_.Serve<HsReadRequest>([this](sim::NodeId src, HsReadRequest req) {
+    return HandleRead(src, std::move(req));
+  });
+  rpc_.Serve<HsFlagRequest>([this](sim::NodeId src, HsFlagRequest req) {
+    return HandleFlag(src, std::move(req));
+  });
+  rpc_.Serve<HsCompactRequest>([this](sim::NodeId src, HsCompactRequest req) {
+    return HandleCompact(src, std::move(req));
+  });
+  rpc_.machine().actor().Spawn(CheckpointLoop());
+}
+
+sim::Task<Result<HsWriteReply>> HaystackStore::HandleWrite(sim::NodeId src,
+                                                           HsWriteRequest req) {
+  sim::Storage& disk = rpc_.machine().disk(0);
+  Volume& vol = volumes_[req.volume];
+  // Appending through the filesystem costs a metadata update per needle.
+  co_await disk.ChargeWrite(config_.fs_overhead_bytes);
+  const uint64_t offset = vol.tail;
+  const uint64_t size = req.data.size();
+  Status s = co_await disk.WriteBlocks(DeviceName(req.volume, vol.generation), offset,
+                                       std::move(req.data), req.checksum);
+  if (!s.ok()) {
+    co_return s;
+  }
+  vol.tail += size;
+  vol.index[req.name] = Needle{offset, size, req.checksum, false};
+  ++vol.dirty;  // Mo lives in memory; the on-disk index lags (§2.2)
+  live_bytes_ += size;
+  total_bytes_ += size;
+  ++stats_.writes;
+  HsWriteReply reply;
+  reply.offset = offset;
+  co_return reply;
+}
+
+sim::Task<Result<HsReadReply>> HaystackStore::HandleRead(sim::NodeId src, HsReadRequest req) {
+  auto vit = volumes_.find(req.volume);
+  if (vit == volumes_.end()) {
+    co_return Status::NotFound("no such volume");
+  }
+  auto nit = vit->second.index.find(req.name);
+  if (nit == vit->second.index.end() || nit->second.deleted) {
+    co_return Status::NotFound("needle absent or deleted");
+  }
+  sim::Storage& disk = rpc_.machine().disk(0);
+  // Read in-volume filesystem metadata, then the needle (§6.1's explanation
+  // of the get gap).
+  co_await disk.ChargeRead(config_.fs_overhead_bytes);
+  auto data = co_await disk.ReadBlocks(DeviceName(req.volume, vit->second.generation),
+                                       nit->second.offset, nit->second.size);
+  if (!data.ok()) {
+    co_return data.status();
+  }
+  ++stats_.reads;
+  HsReadReply reply;
+  reply.data = std::move(*data);
+  reply.checksum = nit->second.checksum;
+  co_return reply;
+}
+
+sim::Task<Result<HsFlagReply>> HaystackStore::HandleFlag(sim::NodeId src, HsFlagRequest req) {
+  auto vit = volumes_.find(req.volume);
+  if (vit == volumes_.end()) {
+    co_return Status::NotFound("no such volume");
+  }
+  auto nit = vit->second.index.find(req.name);
+  if (nit == vit->second.index.end() || nit->second.deleted) {
+    co_return Status::NotFound("needle absent");
+  }
+  // Persist the deletion flag (a small synchronous write into the volume).
+  sim::Storage& disk = rpc_.machine().disk(0);
+  co_await disk.ChargeWrite(config_.fs_overhead_bytes);
+  co_await disk.ChargeFsync();
+  nit->second.deleted = true;
+  vit->second.dead_bytes += nit->second.size;
+  live_bytes_ -= nit->second.size;
+  ++vit->second.dirty;
+  ++stats_.flags;
+  co_return HsFlagReply{};
+}
+
+sim::Task<Result<HsCompactReply>> HaystackStore::HandleCompact(sim::NodeId src,
+                                                               HsCompactRequest req) {
+  auto vit = volumes_.find(req.volume);
+  if (vit == volumes_.end()) {
+    co_return Status::NotFound("no such volume");
+  }
+  Volume& vol = vit->second;
+  sim::Storage& disk = rpc_.machine().disk(0);
+  // Rewrite live needles into a fresh volume file (next generation): read +
+  // write every live byte — the I/O amplification §4.3.3 describes.
+  uint64_t new_tail = 0;
+  uint64_t rewritten = 0;
+  std::unordered_map<std::string, Needle> new_index;
+  const std::string old_dev = DeviceName(req.volume, vol.generation);
+  const std::string new_dev = DeviceName(req.volume, vol.generation + 1);
+  for (auto& [name, needle] : vol.index) {
+    if (needle.deleted) {
+      disk.DiscardBlocks(old_dev, needle.offset);
+      continue;
+    }
+    auto data = co_await disk.ReadBlocks(old_dev, needle.offset, needle.size);
+    if (!data.ok()) {
+      continue;
+    }
+    disk.DiscardBlocks(old_dev, needle.offset);
+    co_await disk.ChargeWrite(config_.fs_overhead_bytes);
+    (void)co_await disk.WriteBlocks(new_dev, new_tail, std::move(*data), needle.checksum);
+    new_index[name] = Needle{new_tail, needle.size, needle.checksum, false};
+    new_tail += needle.size;
+    rewritten += needle.size;
+  }
+  total_bytes_ -= vol.dead_bytes;
+  vol.index = std::move(new_index);
+  vol.tail = new_tail;
+  vol.dead_bytes = 0;
+  ++vol.generation;
+  ++vol.dirty;
+  ++stats_.compactions;
+  stats_.compacted_bytes += rewritten;
+  HsCompactReply reply;
+  reply.bytes_rewritten = rewritten;
+  co_return reply;
+}
+
+sim::Task<> HaystackStore::CheckpointLoop() {
+  // Asynchronous checkpoint of the in-memory index (§2.2: effective for
+  // read-heavy loads, but under write-heavy loads the on-disk index lags).
+  for (;;) {
+    co_await sim::SleepFor(config_.checkpoint_interval);
+    sim::Storage& disk = rpc_.machine().disk(0);
+    for (auto& [id, vol] : volumes_) {
+      if (vol.dirty == 0) {
+        continue;
+      }
+      const uint64_t bytes = vol.index.size() * 64 + 1024;
+      (void)co_await disk.WriteFile(IndexFile(id), std::string(1, 'i'), /*sync=*/true);
+      co_await disk.ChargeWrite(bytes);
+      vol.dirty = 0;
+      ++stats_.checkpoints;
+    }
+  }
+}
+
+// ---- client ----
+
+HaystackClient::HaystackClient(rpc::Node& rpc, const HaystackConfig& config,
+                               sim::NodeId primary_dir, uint64_t seed)
+    : rpc_(rpc), config_(config), primary_dir_(primary_dir), rng_(seed) {}
+
+sim::Task<Status> HaystackClient::Put(std::string name, std::string data) {
+  const uint32_t checksum = Crc32c(data);
+  // (1) Write-ahead meta-log Ml on the client's own disk (Fig. 1 step 1).
+  const std::string log_entry = name + "|" + std::to_string(checksum);
+  CO_RETURN_IF_ERROR(
+      co_await rpc_.machine().disk(0).Append("hs_mlog", log_entry, /*sync=*/true));
+  // (2) Directory assigns and persists Mv, then replies.
+  HsAssignRequest assign;
+  assign.name = name;
+  assign.size = data.size();
+  auto assigned = co_await rpc_.Call(primary_dir_, std::move(assign), config_.rpc_timeout);
+  if (!assigned.ok()) {
+    co_return assigned.status();
+  }
+  // (3) Write the needle to all n stores in parallel; each persists data+Mo.
+  std::vector<sim::Task<Status>> tasks;
+  for (sim::NodeId store : assigned->stores) {
+    tasks.push_back([](HaystackClient* self, sim::NodeId store, uint32_t volume,
+                       std::string name, std::string data,
+                       uint32_t checksum) -> sim::Task<Status> {
+      HsWriteRequest write;
+      write.volume = volume;
+      write.name = std::move(name);
+      write.data = std::move(data);
+      write.checksum = checksum;
+      auto r = co_await self->rpc_.Call(store, std::move(write), self->config_.rpc_timeout);
+      co_return r.ok() ? Status::Ok() : r.status();
+    }(this, store, assigned->volume, name, data, checksum));
+  }
+  auto results = co_await sim::WhenAll(std::move(tasks));
+  for (const Status& s : results) {
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::string>> HaystackClient::Get(std::string name) {
+  HsLookupRequest lookup;
+  lookup.name = name;
+  auto found = co_await rpc_.Call(primary_dir_, std::move(lookup), config_.rpc_timeout);
+  if (!found.ok()) {
+    co_return found.status();
+  }
+  if (found->stores.empty()) {
+    co_return Status::Internal("volume without stores");
+  }
+  const sim::NodeId store = found->stores[rng_.Uniform(found->stores.size())];
+  HsReadRequest read;
+  read.volume = found->volume;
+  read.name = std::move(name);
+  auto r = co_await rpc_.Call(store, std::move(read), config_.rpc_timeout);
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  co_return std::move(r->data);
+}
+
+sim::Task<Status> HaystackClient::Delete(std::string name) {
+  // §2.2's three steps: query the directory, update every store's offset
+  // metadata, update the directory.
+  HsLookupRequest lookup;
+  lookup.name = name;
+  auto found = co_await rpc_.Call(primary_dir_, std::move(lookup), config_.rpc_timeout);
+  if (!found.ok()) {
+    co_return found.status();
+  }
+  std::vector<sim::Task<Status>> tasks;
+  for (sim::NodeId store : found->stores) {
+    tasks.push_back([](HaystackClient* self, sim::NodeId store, uint32_t volume,
+                       std::string name) -> sim::Task<Status> {
+      HsFlagRequest flag;
+      flag.volume = volume;
+      flag.name = std::move(name);
+      auto r = co_await self->rpc_.Call(store, std::move(flag), self->config_.rpc_timeout);
+      co_return r.ok() ? Status::Ok() : r.status();
+    }(this, store, found->volume, name));
+  }
+  auto results = co_await sim::WhenAll(std::move(tasks));
+  for (const Status& s : results) {
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  HsDirDeleteRequest del;
+  del.name = std::move(name);
+  auto r = co_await rpc_.Call(primary_dir_, std::move(del), config_.rpc_timeout);
+  co_return r.ok() ? Status::Ok() : r.status();
+}
+
+// ---- cluster ----
+
+HaystackCluster::HaystackCluster(sim::EventLoop& loop, HaystackConfig config)
+    : loop_(loop), config_(std::move(config)), net_(loop, config_.net) {
+  sim::NodeId next_id = 1000;
+  std::vector<sim::NodeId> dir_nodes;
+  for (int i = 0; i < config_.directory_machines; ++i) {
+    dir_nodes.push_back(next_id + i);
+  }
+  for (int i = 0; i < config_.directory_machines; ++i) {
+    DirBundle b;
+    sim::MachineParams params;
+    params.disk = config_.disk;
+    b.machine = std::make_unique<sim::Machine>(loop_, dir_nodes[i],
+                                               "hsdir" + std::to_string(i), params);
+    b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+    b.rpc->Attach();
+    b.server = std::make_unique<HaystackDirectory>(*b.rpc, config_, i == 0, dir_nodes);
+    dirs_.push_back(std::move(b));
+  }
+  next_id += config_.directory_machines;
+  for (int i = 0; i < config_.store_machines; ++i) {
+    StoreBundle b;
+    sim::MachineParams params;
+    params.disk = config_.disk;
+    b.machine = std::make_unique<sim::Machine>(loop_, next_id + i,
+                                               "hstore" + std::to_string(i), params);
+    b.machine->disk(0).set_store_volume_content(config_.store_volume_content);
+    b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+    b.rpc->Attach();
+    b.server = std::make_unique<HaystackStore>(*b.rpc, config_);
+    stores_.push_back(std::move(b));
+  }
+  next_id += config_.store_machines;
+  for (int i = 0; i < config_.client_machines; ++i) {
+    ClientBundle b;
+    sim::MachineParams params;
+    params.disk = config_.disk;
+    b.machine = std::make_unique<sim::Machine>(loop_, next_id + i,
+                                               "hsclient" + std::to_string(i), params);
+    b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+    b.rpc->Attach();
+    b.client = std::make_unique<HaystackClient>(*b.rpc, config_, dirs_[0].machine->node_id(),
+                                                0xba5e + i);
+    clients_.push_back(std::move(b));
+  }
+
+  // Logical volumes: anchor `volumes_per_store` per store, replicas on the
+  // next n-1 stores round-robin.
+  uint32_t vol_id = 1;
+  for (int s = 0; s < config_.store_machines; ++s) {
+    for (uint32_t v = 0; v < config_.volumes_per_store; ++v) {
+      HaystackDirectory::VolumeInfo info;
+      info.id = vol_id++;
+      info.capacity = config_.volume_capacity;
+      for (uint32_t r = 0; r < config_.replication; ++r) {
+        info.stores.push_back(
+            stores_[(s + r) % config_.store_machines].machine->node_id());
+      }
+      volumes_.push_back(std::move(info));
+    }
+  }
+}
+
+HaystackCluster::~HaystackCluster() = default;
+
+Status HaystackCluster::Boot() {
+  auto pending = std::make_shared<int>(static_cast<int>(dirs_.size()));
+  auto failed = std::make_shared<bool>(false);
+  for (auto& d : dirs_) {
+    d.server->InstallVolumes(volumes_);
+    d.machine->actor().Spawn(
+        [](HaystackDirectory* dir, std::shared_ptr<int> pending,
+           std::shared_ptr<bool> failed) -> sim::Task<> {
+          Status s = co_await dir->Start();
+          if (!s.ok()) {
+            *failed = true;
+          }
+          --*pending;
+        }(d.server.get(), pending, failed));
+  }
+  for (auto& s : stores_) {
+    s.server->Start();
+  }
+  while (*pending > 0 && loop_.RunOne()) {
+  }
+  loop_.RunFor(Millis(10));
+  return *failed ? Status::Internal("directory failed to start") : Status::Ok();
+}
+
+void HaystackCluster::TriggerCompactionAll() {
+  for (auto& s : stores_) {
+    for (const auto& vol : volumes_) {
+      if (std::find(vol.stores.begin(), vol.stores.end(), s.machine->node_id()) !=
+          vol.stores.end()) {
+        HsCompactRequest req;
+        req.volume = vol.id;
+        clients_[0].rpc->Notify(s.machine->node_id(), std::move(req));
+      }
+    }
+  }
+}
+
+}  // namespace cheetah::baselines

@@ -1,0 +1,468 @@
+#include "src/cluster/manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+#include "src/sim/actor.h"
+
+namespace cheetah::cluster {
+
+Manager::Manager(rpc::Node& rpc, sim::Storage& storage, raft::Config raft_config,
+                 ManagerConfig config, uint64_t seed)
+    : rpc_(rpc), config_(config) {
+  raft_ = std::make_unique<raft::RaftNode>(rpc, storage, std::move(raft_config), &sm_, seed);
+}
+
+sim::Task<Status> Manager::Start() {
+  assert(config_.fail_timeout > config_.lease_duration &&
+         "a dead server's lease must expire before its removal activates");
+  CO_RETURN_IF_ERROR(co_await raft_->Start());
+  rpc_.Serve<HeartbeatRequest>([this](sim::NodeId src, HeartbeatRequest req) {
+    return HandleHeartbeat(src, std::move(req));
+  });
+  rpc_.Serve<GetTopologyRequest>([this](sim::NodeId src, GetTopologyRequest req) {
+    return HandleGetTopology(src, std::move(req));
+  });
+  rpc_.Serve<ReportFailureRequest>([this](sim::NodeId src, ReportFailureRequest req) {
+    return HandleReport(src, std::move(req));
+  });
+  rpc_.Serve<RecoveryDoneRequest>([this](sim::NodeId src, RecoveryDoneRequest req) {
+    return HandleRecoveryDone(src, std::move(req));
+  });
+  rpc_.machine().actor().Spawn(LeaderLoop());
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Manager::MutateTopology(std::function<Status(TopologyMap&)> fn) {
+  // Serialize read-modify-write cycles: concurrent mutations (e.g. several
+  // RecoveryDone notifications landing together) must not clobber each other.
+  while (mutating_) {
+    co_await sim::SleepFor(Micros(200));
+  }
+  mutating_ = true;
+  TopologyMap next = sm_.current;
+  Status s = fn(next);
+  if (s.ok()) {
+    next.view = sm_.current.view + 1;
+    auto r = co_await raft_->Propose(next.Serialize());
+    s = r.ok() ? Status::Ok() : r.status();
+    if (s.ok()) {
+      ++topology_changes_;
+      PushTopologyToAll();
+    }
+  }
+  mutating_ = false;
+  co_return s;
+}
+
+void Manager::PushTopologyToAll() {
+  const std::string serialized = sm_.current.Serialize();
+  std::set<sim::NodeId> targets;
+  for (const auto& item : sm_.current.meta_crush.items()) {
+    targets.insert(static_cast<sim::NodeId>(item.id));
+  }
+  for (sim::NodeId n : sm_.current.data_servers) {
+    targets.insert(n);
+  }
+  for (const auto& [node, live] : liveness_) {
+    targets.insert(node);
+  }
+  for (sim::NodeId n : targets) {
+    TopologyPush push;
+    push.serialized_map = serialized;
+    rpc_.Notify(n, std::move(push));
+  }
+}
+
+sim::Task<Status> Manager::Bootstrap(BootstrapSpec spec) {
+  if (!raft_->is_leader()) {
+    co_return Status::Unavailable("not the manager leader");
+  }
+  TopologyMap map;
+  map.pg_count = spec.pg_count;
+  map.replication = spec.replication;
+  for (sim::NodeId m : spec.meta_servers) {
+    map.meta_crush.AddItem(m);
+  }
+  map.data_servers = spec.data_servers;
+
+  // Carve physical volumes.
+  std::map<sim::NodeId, std::vector<PvId>> free_pvs;
+  for (sim::NodeId ds : spec.data_servers) {
+    for (uint32_t disk = 0; disk < spec.disks_per_data_server; ++disk) {
+      for (uint32_t i = 0; i < spec.pvs_per_disk; ++i) {
+        PhysicalVolume pv;
+        pv.id = next_pv_id_++;
+        pv.data_server = ds;
+        pv.disk_index = disk;
+        map.pvs[pv.id] = pv;
+        free_pvs[ds].push_back(pv.id);
+      }
+    }
+  }
+
+  // Group into logical volumes: n replicas on n distinct data servers.
+  for (;;) {
+    std::vector<sim::NodeId> candidates;
+    for (auto& [ds, list] : free_pvs) {
+      if (!list.empty()) {
+        candidates.push_back(ds);
+      }
+    }
+    if (candidates.size() < spec.replication) {
+      break;
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](sim::NodeId a, sim::NodeId b) {
+                return free_pvs[a].size() > free_pvs[b].size();
+              });
+    LogicalVolume lv;
+    lv.id = next_lv_id_++;
+    lv.capacity_bytes = spec.lv_capacity_bytes;
+    lv.block_size = spec.block_size;
+    for (uint32_t r = 0; r < spec.replication; ++r) {
+      sim::NodeId ds = candidates[r];
+      lv.replicas.push_back(free_pvs[ds].back());
+      free_pvs[ds].pop_back();
+    }
+    map.lvs[lv.id] = lv;
+  }
+
+  // Every PG needs at least one logical volume in its VG, or its objects
+  // would have nowhere to live (VGs are exclusive to their PG, §4.2).
+  if (map.lvs.size() < map.pg_count) {
+    co_return Status::InvalidArgument(
+        "bootstrap needs at least pg_count logical volumes (" +
+        std::to_string(map.lvs.size()) + " < " + std::to_string(map.pg_count) + ")");
+  }
+  // Assign logical volumes to VGs round-robin; every PG gets a VG entry.
+  for (PgId pg = 0; pg < map.pg_count; ++pg) {
+    map.vgs[pg] = {};
+  }
+  PgId pg = 0;
+  for (const auto& [id, lv] : map.lvs) {
+    map.vgs[pg % map.pg_count].push_back(id);
+    ++pg;
+  }
+  co_return co_await MutateTopology([&map](TopologyMap& next) {
+    next = std::move(map);
+    return Status::Ok();
+  });
+}
+
+sim::Task<Status> Manager::AddMetaServer(sim::NodeId node) {
+  if (!raft_->is_leader()) {
+    co_return Status::Unavailable("not the manager leader");
+  }
+  co_return co_await MutateTopology([node](TopologyMap& next) {
+    if (next.meta_crush.HasItem(node)) {
+      return Status::AlreadyExists("meta server already mapped");
+    }
+    next.meta_crush.AddItem(node);
+    return Status::Ok();
+  });
+}
+
+sim::Task<Status> Manager::AddDataServer(sim::NodeId node, uint32_t disks,
+                                         uint32_t pvs_per_disk) {
+  if (!raft_->is_leader()) {
+    co_return Status::Unavailable("not the manager leader");
+  }
+  co_return co_await MutateTopology([this, node, disks, pvs_per_disk](TopologyMap& next) {
+  if (std::find(next.data_servers.begin(), next.data_servers.end(), node) ==
+      next.data_servers.end()) {
+    next.data_servers.push_back(node);
+  }
+  // Each new LV anchors one fresh PV on the new server plus n-1 fresh PVs on
+  // the least-loaded existing servers, and joins a VG round-robin — new
+  // objects can land on new volumes while existing objects stay put (§4.2).
+  const uint32_t new_lvs = disks * pvs_per_disk;
+  uint64_t lv_capacity = GiB(1);
+  uint32_t block_size = 4096;
+  if (!next.lvs.empty()) {
+    lv_capacity = next.lvs.begin()->second.capacity_bytes;
+    block_size = next.lvs.begin()->second.block_size;
+  }
+  std::map<sim::NodeId, size_t> load;
+  for (sim::NodeId ds : next.data_servers) {
+    load[ds] = 0;
+  }
+  for (const auto& [id, pv] : next.pvs) {
+    ++load[pv.data_server];
+  }
+  PgId vg_cursor = 0;
+  for (uint32_t i = 0; i < new_lvs; ++i) {
+    LogicalVolume lv;
+    lv.id = next_lv_id_++;
+    lv.capacity_bytes = lv_capacity;
+    lv.block_size = block_size;
+    // Anchor on the new server.
+    auto make_pv = [&](sim::NodeId ds, uint32_t disk) {
+      PhysicalVolume pv;
+      pv.id = next_pv_id_++;
+      pv.data_server = ds;
+      pv.disk_index = disk;
+      next.pvs[pv.id] = pv;
+      ++load[ds];
+      return pv.id;
+    };
+    lv.replicas.push_back(make_pv(node, i % std::max(1u, disks)));
+    std::vector<sim::NodeId> others;
+    for (sim::NodeId ds : next.data_servers) {
+      if (ds != node) {
+        others.push_back(ds);
+      }
+    }
+    std::sort(others.begin(), others.end(),
+              [&](sim::NodeId a, sim::NodeId b) { return load[a] < load[b]; });
+    for (uint32_t r = 1; r < next.replication && r - 1 < others.size(); ++r) {
+      lv.replicas.push_back(make_pv(others[r - 1], 0));
+    }
+    if (lv.replicas.size() < next.replication) {
+      return Status::InvalidArgument("not enough data servers for replication");
+    }
+    next.lvs[lv.id] = lv;
+    next.vgs[vg_cursor % next.pg_count].push_back(lv.id);
+    ++vg_cursor;
+  }
+  return Status::Ok();
+  });
+}
+
+sim::Task<> Manager::LeaderLoop() {
+  bool was_leader = false;
+  for (;;) {
+    co_await sim::SleepFor(config_.check_interval);
+    const bool leader_now = raft_->is_leader();
+    if (leader_now && !was_leader) {
+      // Liveness collected while we were a follower (e.g. during boot) is
+      // stale; grant every known server a grace period before judging it.
+      const Nanos now = rpc_.machine().loop().Now();
+      for (auto& [node, live] : liveness_) {
+        live.last_seen = now;
+      }
+    }
+    was_leader = leader_now;
+    if (!leader_now || sm_.current.pg_count == 0) {
+      continue;
+    }
+    co_await CheckFailures();
+  }
+}
+
+sim::Task<> Manager::CheckFailures() {
+  const Nanos now = rpc_.machine().loop().Now();
+  std::vector<std::pair<sim::NodeId, ServerKind>> failed;
+  for (const auto& [node, live] : liveness_) {
+    if (live.kind == ServerKind::kClientProxy) {
+      continue;  // proxy crashes are handled by meta servers (§5.3)
+    }
+    if (now - live.last_seen > config_.fail_timeout &&
+        !handling_failure_.contains(node)) {
+      failed.emplace_back(node, live.kind);
+    }
+  }
+  for (auto [node, kind] : failed) {
+    handling_failure_.insert(node);
+    LOG_INFO << "manager: declaring " << node << " failed";
+    if (kind == ServerKind::kMetaServer) {
+      co_await HandleMetaFailure(node);
+    } else {
+      co_await HandleDataFailure(node);
+    }
+    liveness_.erase(node);
+    handling_failure_.erase(node);
+  }
+}
+
+sim::Task<> Manager::HandleMetaFailure(sim::NodeId node) {
+  if (!sm_.current.meta_crush.HasItem(node)) {
+    co_return;
+  }
+  if (sm_.current.meta_crush.size() <= 1) {
+    LOG_WARN << "manager: refusing to remove the last meta server " << node;
+    co_return;
+  }
+  (void)co_await MutateTopology([node](TopologyMap& next) {
+    if (!next.meta_crush.HasItem(node)) {
+      return Status::AlreadyExists("already removed");
+    }
+    next.meta_crush.RemoveItem(node);
+    return Status::Ok();
+  });
+  // The new primaries pull their PGs' MetaX from the surviving replicas when
+  // they observe the new view (core/meta_server.cc).
+}
+
+sim::Task<> Manager::HandleDataFailure(sim::NodeId node) {
+  struct Replacement {
+    LvId lv;
+    PvId source_pv;
+    sim::NodeId source_server;
+    uint32_t source_disk;
+    PvId target_pv;
+    sim::NodeId target_server;
+    uint32_t target_disk;
+  };
+  std::vector<Replacement> plans;
+  bool known_server = false;
+
+  Status ms = co_await MutateTopology([&](TopologyMap& next) {
+  bool hosts_volumes = false;
+  known_server =
+      std::find(next.data_servers.begin(), next.data_servers.end(), node) !=
+      next.data_servers.end();
+  std::map<sim::NodeId, size_t> load;
+  for (sim::NodeId ds : next.data_servers) {
+    if (ds != node) {
+      load[ds] = 0;
+    }
+  }
+  for (const auto& [id, pv] : next.pvs) {
+    if (pv.data_server != node && load.contains(pv.data_server)) {
+      ++load[pv.data_server];
+    }
+  }
+
+  for (auto& [lv_id, lv] : next.lvs) {
+    for (PvId& pv_id : lv.replicas) {
+      PhysicalVolume& old_pv = next.pvs[pv_id];
+      if (old_pv.data_server != node) {
+        continue;
+      }
+      hosts_volumes = true;
+      // Choose the least-loaded server not already hosting this LV.
+      sim::NodeId target = sim::kInvalidNode;
+      size_t best = SIZE_MAX;
+      for (const auto& [ds, l] : load) {
+        const bool holds_replica = std::any_of(
+            lv.replicas.begin(), lv.replicas.end(), [&](PvId r) {
+              return r != pv_id && next.pvs[r].data_server == ds;
+            });
+        if (!holds_replica && l < best) {
+          best = l;
+          target = ds;
+        }
+      }
+      if (target == sim::kInvalidNode) {
+        lv.writable = false;  // cannot re-replicate; degraded
+        continue;
+      }
+      // Pick a healthy source replica.
+      PvId source = 0;
+      for (PvId r : lv.replicas) {
+        if (r != pv_id && next.pvs[r].healthy && next.pvs[r].data_server != node) {
+          source = r;
+          break;
+        }
+      }
+      PhysicalVolume fresh;
+      fresh.id = next_pv_id_++;
+      fresh.data_server = target;
+      fresh.disk_index = old_pv.disk_index;
+      fresh.healthy = false;  // until recovery completes
+      next.pvs[fresh.id] = fresh;
+      ++load[target];
+      old_pv.healthy = false;
+      lv.writable = false;  // readonly until recovered (§5.3)
+      if (source != 0) {
+        plans.push_back(Replacement{lv_id, source, next.pvs[source].data_server,
+                                    next.pvs[source].disk_index, fresh.id, target,
+                                    fresh.disk_index});
+      }
+      pv_id = fresh.id;
+    }
+  }
+  next.data_servers.erase(
+      std::remove(next.data_servers.begin(), next.data_servers.end(), node),
+      next.data_servers.end());
+  if (!hosts_volumes && !known_server) {
+    return Status::NotFound("not a data server we know");
+  }
+  return Status::Ok();
+  });
+  if (!ms.ok()) {
+    co_return;
+  }
+
+  // Kick off parallel re-replication on the replacement servers.
+  for (const auto& plan : plans) {
+    RecoverVolumeRequest req;
+    req.view = sm_.current.view;
+    req.lv = plan.lv;
+    req.source_pv = plan.source_pv;
+    req.source_server = plan.source_server;
+    req.source_disk = plan.source_disk;
+    req.target_pv = plan.target_pv;
+    req.target_disk = plan.target_disk;
+    rpc_.Notify(plan.target_server, std::move(req));
+  }
+}
+
+sim::Task<Result<HeartbeatReply>> Manager::HandleHeartbeat(sim::NodeId src,
+                                                           HeartbeatRequest req) {
+  Liveness& live = liveness_[req.node];
+  live.kind = req.kind;
+  live.last_seen = rpc_.machine().loop().Now();
+  HeartbeatReply reply;
+  reply.current_view = sm_.current.view;
+  reply.is_leader = raft_->is_leader();
+  reply.lease_duration = raft_->is_leader() ? config_.lease_duration : 0;
+  co_return reply;
+}
+
+sim::Task<Result<GetTopologyReply>> Manager::HandleGetTopology(sim::NodeId src,
+                                                               GetTopologyRequest req) {
+  GetTopologyReply reply;
+  if (req.have_view >= sm_.current.view) {
+    reply.changed = false;
+    co_return reply;
+  }
+  reply.changed = true;
+  reply.serialized_map = sm_.current.Serialize();
+  co_return reply;
+}
+
+sim::Task<Result<ReportFailureReply>> Manager::HandleReport(sim::NodeId src,
+                                                            ReportFailureRequest req) {
+  // A report ages the suspect's liveness so the next check acts quickly; the
+  // manager still relies on its own heartbeat evidence (§5.3).
+  auto it = liveness_.find(req.suspect);
+  if (it != liveness_.end()) {
+    const Nanos now = rpc_.machine().loop().Now();
+    const Nanos aged = now - config_.fail_timeout / 2;
+    it->second.last_seen = std::min(it->second.last_seen, aged);
+  }
+  co_return ReportFailureReply{};
+}
+
+sim::Task<Result<RecoveryDoneReply>> Manager::HandleRecoveryDone(sim::NodeId src,
+                                                                 RecoveryDoneRequest req) {
+  if (!raft_->is_leader()) {
+    co_return Status::Unavailable("not the manager leader");
+  }
+  Status s = co_await MutateTopology([&req](TopologyMap& next) {
+    auto lv_it = next.lvs.find(req.lv);
+    if (lv_it == next.lvs.end()) {
+      return Status::NotFound("unknown lv");
+    }
+    auto pv_it = next.pvs.find(req.target_pv);
+    if (pv_it != next.pvs.end()) {
+      pv_it->second.healthy = true;
+    }
+    // Writable again once every replica is healthy.
+    bool all_healthy = true;
+    for (PvId r : lv_it->second.replicas) {
+      all_healthy &= next.pvs[r].healthy;
+    }
+    lv_it->second.writable = all_healthy;
+    return Status::Ok();
+  });
+  if (!s.ok()) {
+    co_return s;
+  }
+  co_return RecoveryDoneReply{};
+}
+
+}  // namespace cheetah::cluster

@@ -1,0 +1,126 @@
+// The system manager (§5.1): an odd number of manager processes running Raft
+// as one reliable central manager. It owns the topology map (server
+// membership, VG/LV/PV layout, view number) and the lease clock, detects
+// failures from missed heartbeats, and coordinates replacement + recovery.
+//
+// Every topology change is a Raft proposal carrying the full serialized map
+// (the map is small — a few hundred volumes); each manager applies committed
+// maps to its local TopologyStateMachine. Only the Raft leader runs the
+// failure detector and answers heartbeats with leases.
+//
+// Timing invariant (checked in Start): fail_timeout > lease_duration, so by
+// the time the leader declares a server dead and activates a view without
+// it, any lease that server held has already expired (§5.1's "a new topology
+// map becomes effective with the next lease").
+#ifndef SRC_CLUSTER_MANAGER_H_
+#define SRC_CLUSTER_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/messages.h"
+#include "src/cluster/topology.h"
+#include "src/raft/raft.h"
+#include "src/rpc/node.h"
+
+namespace cheetah::cluster {
+
+struct ManagerConfig {
+  ManagerConfig() = default;
+  Nanos check_interval = Millis(100);  // failure-detector cadence
+  Nanos fail_timeout = Millis(450);    // missed-heartbeat threshold
+  Nanos lease_duration = Millis(300);
+  Nanos rpc_timeout = Millis(100);
+};
+
+// Initial cluster layout for Bootstrap().
+struct BootstrapSpec {
+  BootstrapSpec() = default;
+  uint32_t pg_count = 64;
+  uint32_t replication = 3;
+  std::vector<sim::NodeId> meta_servers;
+  std::vector<sim::NodeId> data_servers;
+  uint32_t disks_per_data_server = 1;
+  uint32_t pvs_per_disk = 4;
+  uint64_t pv_capacity_bytes = 0;  // derived from lv capacity below if 0
+  uint64_t lv_capacity_bytes = GiB(1);
+  uint32_t block_size = 4096;
+};
+
+class Manager {
+ public:
+  Manager(rpc::Node& rpc, sim::Storage& storage, raft::Config raft_config,
+          ManagerConfig config, uint64_t seed);
+
+  sim::Task<Status> Start();
+
+  bool is_raft_leader() const { return raft_->is_leader(); }
+  const TopologyMap& topology() const { return sm_.current; }
+  uint64_t view() const { return sm_.current.view; }
+
+  // Creates the initial topology (leader only).
+  sim::Task<Status> Bootstrap(BootstrapSpec spec);
+
+  // Expansion (leader only). AddMetaServer triggers CRUSH PG remapping (but
+  // no data migration thanks to VGs); AddDataServer carves new PVs/LVs and
+  // appends them to existing VGs round-robin.
+  sim::Task<Status> AddMetaServer(sim::NodeId node);
+  sim::Task<Status> AddDataServer(sim::NodeId node, uint32_t disks, uint32_t pvs_per_disk);
+
+  // Test hook: force the failure check now.
+  sim::Task<> CheckFailuresNow() { return CheckFailures(); }
+
+  // Exposed for observability in benches/tests.
+  uint64_t topology_changes() const { return topology_changes_; }
+
+ private:
+  struct TopologyStateMachine : raft::StateMachine {
+    void Apply(uint64_t index, const std::string& command) override {
+      auto map = TopologyMap::Deserialize(command);
+      if (map.ok()) {
+        current = std::move(*map);
+      }
+    }
+    TopologyMap current;
+  };
+
+  // Serialized topology read-modify-write: runs `fn` on a copy of the current
+  // map under an async lock, then commits it via Raft with view+1.
+  sim::Task<Status> MutateTopology(std::function<Status(TopologyMap&)> fn);
+  sim::Task<> LeaderLoop();
+  sim::Task<> CheckFailures();
+  sim::Task<> HandleMetaFailure(sim::NodeId node);
+  sim::Task<> HandleDataFailure(sim::NodeId node);
+  void PushTopologyToAll();
+
+  sim::Task<Result<HeartbeatReply>> HandleHeartbeat(sim::NodeId src, HeartbeatRequest req);
+  sim::Task<Result<GetTopologyReply>> HandleGetTopology(sim::NodeId src,
+                                                        GetTopologyRequest req);
+  sim::Task<Result<ReportFailureReply>> HandleReport(sim::NodeId src,
+                                                     ReportFailureRequest req);
+  sim::Task<Result<RecoveryDoneReply>> HandleRecoveryDone(sim::NodeId src,
+                                                          RecoveryDoneRequest req);
+
+  rpc::Node& rpc_;
+  ManagerConfig config_;
+  TopologyStateMachine sm_;
+  std::unique_ptr<raft::RaftNode> raft_;
+
+  struct Liveness {
+    ServerKind kind = ServerKind::kMetaServer;
+    Nanos last_seen = 0;
+  };
+  std::map<sim::NodeId, Liveness> liveness_;
+  std::set<sim::NodeId> handling_failure_;  // avoid double-handling
+  bool mutating_ = false;
+  PvId next_pv_id_ = 1;
+  LvId next_lv_id_ = 1;
+  uint64_t topology_changes_ = 0;
+};
+
+}  // namespace cheetah::cluster
+
+#endif  // SRC_CLUSTER_MANAGER_H_

@@ -1,0 +1,95 @@
+// The topology map: the manager-maintained global state every server and
+// client proxy must agree on (§5.1).
+//
+// It holds (i) meta/data server membership, (ii) the logical volumes of each
+// PG's volume group and the logical-to-physical volume mapping, and (iii) the
+// view number, incremented on every change. Requests carry the sender's view
+// number; servers reject mismatches with kStaleView, which is how a lagging
+// party learns to refresh.
+#ifndef SRC_CLUSTER_TOPOLOGY_H_
+#define SRC_CLUSTER_TOPOLOGY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crush/crush.h"
+#include "src/sim/network.h"
+
+namespace cheetah::cluster {
+
+using PgId = uint32_t;
+using LvId = uint32_t;
+using PvId = uint32_t;
+
+struct PhysicalVolume {
+  PhysicalVolume() = default;
+  PvId id = 0;
+  sim::NodeId data_server = sim::kInvalidNode;
+  uint32_t disk_index = 0;
+  bool healthy = true;
+
+  // Name of the raw block volume on the data server's disk.
+  std::string DeviceName() const { return "pv_" + std::to_string(id); }
+};
+
+struct LogicalVolume {
+  LogicalVolume() = default;
+  LvId id = 0;
+  std::vector<PvId> replicas;  // n physical volumes holding identical data
+  bool writable = true;
+  uint64_t capacity_bytes = 0;
+  uint32_t block_size = 4096;
+
+  uint64_t TotalBlocks() const { return capacity_bytes / block_size; }
+};
+
+struct TopologyMap {
+  TopologyMap() = default;
+
+  uint64_t view = 0;
+  uint32_t pg_count = 0;
+  uint32_t replication = 3;
+
+  crush::Map meta_crush;                 // meta servers, keyed by NodeId
+  std::vector<sim::NodeId> data_servers;
+  std::map<PvId, PhysicalVolume> pvs;
+  std::map<LvId, LogicalVolume> lvs;
+  std::map<PgId, std::vector<LvId>> vgs;  // each PG's volume group
+
+  // --- derived lookups ---
+  PgId PgOf(std::string_view object_name) const {
+    return crush::Map::NameToPg(object_name, pg_count);
+  }
+  std::vector<sim::NodeId> MetaServersOf(PgId pg) const {
+    return meta_crush.Select(pg, replication);
+  }
+  sim::NodeId PrimaryOf(PgId pg) const {
+    return meta_crush.size() == 0 ? sim::kInvalidNode : meta_crush.Primary(pg);
+  }
+
+  const LogicalVolume* FindLv(LvId id) const {
+    auto it = lvs.find(id);
+    return it == lvs.end() ? nullptr : &it->second;
+  }
+  const PhysicalVolume* FindPv(PvId id) const {
+    auto it = pvs.find(id);
+    return it == pvs.end() ? nullptr : &it->second;
+  }
+
+  // PGs for which `node` is in the replica set / is primary.
+  std::vector<PgId> PgsOf(sim::NodeId node) const;
+  std::vector<PgId> PrimaryPgsOf(sim::NodeId node) const;
+
+  std::string Serialize() const;
+  static Result<TopologyMap> Deserialize(std::string_view data);
+
+  // Structural equality used by tests.
+  bool SameShape(const TopologyMap& other) const;
+};
+
+}  // namespace cheetah::cluster
+
+#endif  // SRC_CLUSTER_TOPOLOGY_H_

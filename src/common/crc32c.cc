@@ -1,0 +1,38 @@
+#include "src/common/crc32c.h"
+
+#include <array>
+
+namespace cheetah {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected CRC-32C polynomial
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  const auto& table = Table();
+  crc = ~crc;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace cheetah

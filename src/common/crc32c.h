@@ -1,0 +1,17 @@
+// CRC-32C (Castagnoli) — the checksum used for object data and MetaX records.
+#ifndef SRC_COMMON_CRC32C_H_
+#define SRC_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cheetah {
+
+// Extends `crc` with `data`. Pass 0 to start a fresh checksum.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+inline uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+}  // namespace cheetah
+
+#endif  // SRC_COMMON_CRC32C_H_

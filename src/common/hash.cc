@@ -1,0 +1,99 @@
+#include "src/common/hash.h"
+
+namespace cheetah {
+namespace {
+
+// Robert Jenkins' 96-bit mix, as used by Ceph's CRUSH (crush/hash.c).
+constexpr uint32_t kCrushHashSeed = 1315423911u;
+
+void CrushHashMix(uint32_t& a, uint32_t& b, uint32_t& c) {
+  a = a - b;
+  a = a - c;
+  a = a ^ (c >> 13);
+  b = b - c;
+  b = b - a;
+  b = b ^ (a << 8);
+  c = c - a;
+  c = c - b;
+  c = c ^ (b >> 13);
+  a = a - b;
+  a = a - c;
+  a = a ^ (c >> 12);
+  b = b - c;
+  b = b - a;
+  b = b ^ (a << 16);
+  c = c - a;
+  c = c - b;
+  c = c ^ (b >> 5);
+  a = a - b;
+  a = a - c;
+  a = a ^ (c >> 3);
+  b = b - c;
+  b = b - a;
+  b = b ^ (a << 10);
+  c = c - a;
+  c = c - b;
+  c = c ^ (b >> 15);
+}
+
+}  // namespace
+
+uint32_t CrushHash32(uint32_t a) {
+  uint32_t hash = kCrushHashSeed ^ a;
+  uint32_t b = a;
+  uint32_t x = 231232u;
+  uint32_t y = 1232u;
+  CrushHashMix(b, x, hash);
+  CrushHashMix(y, a, hash);
+  return hash;
+}
+
+uint32_t CrushHash32_2(uint32_t a, uint32_t b) {
+  uint32_t hash = kCrushHashSeed ^ a ^ b;
+  uint32_t x = 231232u;
+  uint32_t y = 1232u;
+  CrushHashMix(a, b, hash);
+  CrushHashMix(x, a, hash);
+  CrushHashMix(b, y, hash);
+  return hash;
+}
+
+uint32_t CrushHash32_3(uint32_t a, uint32_t b, uint32_t c) {
+  uint32_t hash = kCrushHashSeed ^ a ^ b ^ c;
+  uint32_t x = 231232u;
+  uint32_t y = 1232u;
+  CrushHashMix(a, b, hash);
+  CrushHashMix(c, x, hash);
+  CrushHashMix(y, a, hash);
+  CrushHashMix(b, x, hash);
+  return hash;
+}
+
+uint32_t CrushHash32_4(uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
+  uint32_t hash = kCrushHashSeed ^ a ^ b ^ c ^ d;
+  uint32_t x = 231232u;
+  uint32_t y = 1232u;
+  CrushHashMix(a, b, hash);
+  CrushHashMix(c, d, hash);
+  CrushHashMix(a, x, hash);
+  CrushHashMix(y, b, hash);
+  return hash;
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace cheetah

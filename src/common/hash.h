@@ -1,0 +1,28 @@
+// Hash functions used across the system.
+//
+//  - Rjenkins1: the Robert Jenkins mix used by CRUSH; stable across runs and
+//    platforms so placement is reproducible.
+//  - Fnv1a64 / XxLike64: general-purpose 64-bit hashes for object names.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cheetah {
+
+// CRUSH's rjenkins1 32-bit hash over up to five 32-bit inputs.
+uint32_t CrushHash32(uint32_t a);
+uint32_t CrushHash32_2(uint32_t a, uint32_t b);
+uint32_t CrushHash32_3(uint32_t a, uint32_t b, uint32_t c);
+uint32_t CrushHash32_4(uint32_t a, uint32_t b, uint32_t c, uint32_t d);
+
+// 64-bit FNV-1a over bytes; used for name -> PG hashing.
+uint64_t Fnv1a64(std::string_view data);
+
+// A fast 64-bit avalanche mix (splitmix64 finalizer).
+uint64_t Mix64(uint64_t x);
+
+}  // namespace cheetah
+
+#endif  // SRC_COMMON_HASH_H_

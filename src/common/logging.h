@@ -1,0 +1,42 @@
+// Minimal leveled logging. Off by default so benchmark output stays clean;
+// tests and examples can raise the level.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace cheetah {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cheetah
+
+#define CHEETAH_LOG(level)                                                       \
+  if (::cheetah::LogLevel::level < ::cheetah::GetLogLevel()) {                   \
+  } else                                                                         \
+    ::cheetah::internal::LogMessage(::cheetah::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG CHEETAH_LOG(kDebug)
+#define LOG_INFO CHEETAH_LOG(kInfo)
+#define LOG_WARN CHEETAH_LOG(kWarn)
+#define LOG_ERROR CHEETAH_LOG(kError)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,40 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace cheetah {
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 1e-18;
+  }
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  // Rejection-free inverse-CDF approximation (Gray et al., as used by YCSB).
+  const double zetan = [&] {
+    double z = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return z;
+  }();
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zeta2 = 1.0 + std::pow(0.5, theta);
+  const double eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                     (1.0 - zeta2 / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta)) {
+    return 1;
+  }
+  return static_cast<uint64_t>(static_cast<double>(n) *
+                               std::pow(eta * u - eta + 1.0, alpha));
+}
+
+}  // namespace cheetah

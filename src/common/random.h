@@ -1,0 +1,62 @@
+// Deterministic PRNG (xoshiro256**). All randomness in the simulator and the
+// workload generators flows through explicitly-seeded instances of this class
+// so that every experiment is reproducible bit-for-bit.
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/hash.h"
+
+namespace cheetah {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x = Mix64(x);
+      s = x;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform integer in [lo, hi].
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53)); }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (used for request inter-arrival jitter).
+  double Exponential(double mean);
+
+  // Zipfian in [0, n) with skew theta (used by YCSB-style key popularity).
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace cheetah
+
+#endif  // SRC_COMMON_RANDOM_H_

@@ -1,0 +1,136 @@
+// Lightweight error-handling primitives used across the code base.
+//
+// Status carries an error code plus a human-readable message; Result<T> is a
+// Status-or-value union. Both are modeled on absl::Status / absl::StatusOr but
+// kept dependency-free.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cheetah {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kCorruption,
+  kIoError,
+  kTimeout,
+  kUnavailable,       // server dead / partitioned / lease expired
+  kStaleView,         // request's view number does not match the server's
+  kAborted,           // request revoked by recovery
+  kResourceExhausted, // out of space
+  kInternal,
+};
+
+// Returns a stable, human-readable name for an error code.
+std::string_view ErrorCodeName(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "") { return {ErrorCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m = "") {
+    return {ErrorCode::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m = "") {
+    return {ErrorCode::kInvalidArgument, std::move(m)};
+  }
+  static Status Corruption(std::string m = "") { return {ErrorCode::kCorruption, std::move(m)}; }
+  static Status IoError(std::string m = "") { return {ErrorCode::kIoError, std::move(m)}; }
+  static Status Timeout(std::string m = "") { return {ErrorCode::kTimeout, std::move(m)}; }
+  static Status Unavailable(std::string m = "") { return {ErrorCode::kUnavailable, std::move(m)}; }
+  static Status StaleView(std::string m = "") { return {ErrorCode::kStaleView, std::move(m)}; }
+  static Status Aborted(std::string m = "") { return {ErrorCode::kAborted, std::move(m)}; }
+  static Status ResourceExhausted(std::string m = "") {
+    return {ErrorCode::kResourceExhausted, std::move(m)};
+  }
+  static Status Internal(std::string m = "") { return {ErrorCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == ErrorCode::kNotFound; }
+  bool IsTimeout() const { return code_ == ErrorCode::kTimeout; }
+  bool IsStaleView() const { return code_ == ErrorCode::kStaleView; }
+  bool IsUnavailable() const { return code_ == ErrorCode::kUnavailable; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversions keep call sites terse: `return Status::NotFound();`
+  // or `return value;` both work inside functions returning Result<T>.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define RETURN_IF_ERROR(expr)          \
+  do {                                 \
+    ::cheetah::Status _s = (expr);     \
+    if (!_s.ok()) {                    \
+      return _s;                       \
+    }                                  \
+  } while (0)
+
+// Coroutine-friendly variant (enclosing function must co_return).
+#define CO_RETURN_IF_ERROR(expr)       \
+  do {                                 \
+    ::cheetah::Status _s = (expr);     \
+    if (!_s.ok()) {                    \
+      co_return _s;                    \
+    }                                  \
+  } while (0)
+
+}  // namespace cheetah
+
+#endif  // SRC_COMMON_STATUS_H_

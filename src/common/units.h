@@ -1,0 +1,30 @@
+// Virtual-time and size units. All simulator time is in nanoseconds carried in
+// a uint64_t; these helpers keep call sites readable.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace cheetah {
+
+using Nanos = uint64_t;
+
+constexpr Nanos kMicrosecond = 1000ull;
+constexpr Nanos kMillisecond = 1000ull * kMicrosecond;
+constexpr Nanos kSecond = 1000ull * kMillisecond;
+
+constexpr Nanos Micros(uint64_t n) { return n * kMicrosecond; }
+constexpr Nanos Millis(uint64_t n) { return n * kMillisecond; }
+constexpr Nanos Seconds(uint64_t n) { return n * kSecond; }
+
+constexpr double ToMillisF(Nanos t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToMicrosF(Nanos t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToSecondsF(Nanos t) { return static_cast<double>(t) / 1e9; }
+
+constexpr uint64_t KiB(uint64_t n) { return n * 1024ull; }
+constexpr uint64_t MiB(uint64_t n) { return n * 1024ull * 1024ull; }
+constexpr uint64_t GiB(uint64_t n) { return n * 1024ull * 1024ull * 1024ull; }
+
+}  // namespace cheetah
+
+#endif  // SRC_COMMON_UNITS_H_

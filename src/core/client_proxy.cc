@@ -1,0 +1,427 @@
+#include "src/core/client_proxy.h"
+
+#include <algorithm>
+
+#include "src/common/crc32c.h"
+#include "src/common/logging.h"
+#include "src/sim/actor.h"
+
+namespace cheetah::core {
+
+ClientProxy::ClientProxy(rpc::Node& rpc, CheetahOptions options,
+                         std::vector<sim::NodeId> manager_nodes, uint32_t proxy_id)
+    : rpc_(rpc),
+      options_(std::move(options)),
+      manager_nodes_(std::move(manager_nodes)),
+      proxy_id_(proxy_id),
+      rng_(0x9c0ffee0ull + proxy_id) {}
+
+void ClientProxy::Start() {
+  rpc_.Serve<MetaPersistedNotify>([this](sim::NodeId src, MetaPersistedNotify req) {
+    return HandlePersisted(src, std::move(req));
+  });
+  rpc_.Serve<cluster::TopologyPush>([this](sim::NodeId src, cluster::TopologyPush req) {
+    return HandleTopologyPush(src, std::move(req));
+  });
+  rpc_.machine().actor().Spawn(HeartbeatLoop());
+}
+
+sim::Task<Result<MetaPersistedAck>> ClientProxy::HandlePersisted(sim::NodeId src,
+                                                                 MetaPersistedNotify req) {
+  auto it = persist_waits_.find(req.reqid);
+  if (it != persist_waits_.end()) {
+    it->second->ok = req.ok;
+    it->second->done.Set();
+  }
+  co_return MetaPersistedAck{};
+}
+
+sim::Task<Result<cluster::TopologyPushReply>> ClientProxy::HandleTopologyPush(
+    sim::NodeId src, cluster::TopologyPush req) {
+  auto map = cluster::TopologyMap::Deserialize(req.serialized_map);
+  if (map.ok() && map->view > topo_.view) {
+    topo_ = std::move(*map);
+    meta_cache_.clear();  // volume assignments may have changed
+  }
+  co_return cluster::TopologyPushReply{};
+}
+
+sim::Task<> ClientProxy::HeartbeatLoop() {
+  for (;;) {
+    for (sim::NodeId mgr : manager_nodes_) {
+      cluster::HeartbeatRequest hb;
+      hb.node = rpc_.id();
+      hb.kind = cluster::ServerKind::kClientProxy;
+      hb.view = topo_.view;
+      auto r = co_await rpc_.Call(mgr, std::move(hb), options_.rpc_timeout);
+      if (r.ok() && r->is_leader) {
+        if (r->current_view > topo_.view) {
+          (void)co_await RefreshTopology();
+        }
+        break;
+      }
+    }
+    co_await sim::SleepFor(options_.heartbeat_interval * 4);
+  }
+}
+
+sim::Task<Status> ClientProxy::EnsureTopology() {
+  if (topo_.view > 0) {
+    co_return Status::Ok();
+  }
+  co_return co_await RefreshTopology();
+}
+
+sim::Task<Status> ClientProxy::RefreshTopology() {
+  for (sim::NodeId mgr : manager_nodes_) {
+    cluster::GetTopologyRequest get;
+    get.have_view = 0;  // always fetch the full map
+    auto r = co_await rpc_.Call(mgr, std::move(get), options_.rpc_timeout);
+    if (!r.ok() || !r->changed) {
+      continue;
+    }
+    auto map = cluster::TopologyMap::Deserialize(r->serialized_map);
+    if (!map.ok()) {
+      continue;
+    }
+    if (map->view > topo_.view) {
+      topo_ = std::move(*map);
+      meta_cache_.clear();
+    }
+    co_return Status::Ok();
+  }
+  co_return Status::Unavailable("no manager answered with a topology");
+}
+
+void ClientProxy::ReportSuspect(sim::NodeId node) {
+  for (sim::NodeId mgr : manager_nodes_) {
+    cluster::ReportFailureRequest report;
+    report.suspect = node;
+    rpc_.Notify(mgr, std::move(report));
+  }
+}
+
+sim::Task<> ClientProxy::BackoffAndRefresh(int attempt) {
+  co_await sim::SleepFor(Millis(20) * (attempt + 1));
+  (void)co_await RefreshTopology();
+}
+
+// ---- put ----
+
+sim::Task<Status> ClientProxy::Put(std::string name, std::string data) {
+  CO_RETURN_IF_ERROR(co_await EnsureTopology());
+  const uint32_t checksum = Crc32c(data);
+  const ReqId reqid = (static_cast<uint64_t>(proxy_id_) << 32) | next_req_++;
+  bool re_meta = false;
+  bool re_data = false;
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    Status s = co_await PutAttempt(name, data, checksum, reqid, re_meta, re_data);
+    if (s.ok()) {
+      ++stats_.puts;
+      co_return s;
+    }
+    if (s.code() == ErrorCode::kAlreadyExists ||
+        s.code() == ErrorCode::kResourceExhausted) {
+      ++stats_.failures;
+      co_return s;  // terminal
+    }
+    ++stats_.retries;
+    if (s.IsStaleView()) {
+      (void)co_await RefreshTopology();
+    } else if (s.code() == ErrorCode::kIoError) {
+      re_data = true;  // a data server failed us mid-write (§5.3 RE-DATA)
+      co_await BackoffAndRefresh(attempt);
+    } else {
+      re_meta = true;  // meta path failed; resume after recovery (§5.3 RE-META)
+      co_await BackoffAndRefresh(attempt);
+    }
+  }
+  ++stats_.failures;
+  co_return Status::Unavailable("put exhausted retries");
+}
+
+sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::string& data,
+                                          uint32_t checksum, ReqId reqid, bool re_meta,
+                                          bool re_data) {
+  const Nanos t0 = rpc_.machine().loop().Now();
+  const cluster::PgId pg = topo_.PgOf(name);
+  const sim::NodeId primary = topo_.PrimaryOf(pg);
+
+  auto wait = std::make_shared<PersistWait>();
+  persist_waits_[reqid] = wait;
+  PutAllocRequest alloc;
+  alloc.view = topo_.view;
+  alloc.name = name;
+  alloc.size = data.size();
+  alloc.checksum = checksum;
+  alloc.reqid = reqid;
+  alloc.proxy_id = proxy_id_;
+  alloc.proxy_node = rpc_.id();
+  alloc.re_meta = re_meta;
+  alloc.re_data = re_data;
+  const Nanos t_sent = rpc_.machine().loop().Now();
+  auto reply = co_await rpc_.Call(primary, std::move(alloc), options_.rpc_timeout);
+  if (!reply.ok()) {
+    persist_waits_.erase(reqid);
+    if (reply.status().IsTimeout()) {
+      ReportSuspect(primary);
+    }
+    co_return reply.status();
+  }
+  const Nanos t_alloc = rpc_.machine().loop().Now();
+
+  const cluster::LogicalVolume* lv = topo_.FindLv(reply->lvid);
+  if (lv == nullptr) {
+    persist_waits_.erase(reqid);
+    co_return Status::StaleView("allocated volume unknown to this proxy");
+  }
+  const Nanos t_data_sent = rpc_.machine().loop().Now();
+  Status ws = co_await WriteDataReplicas(*lv, reply->extents, data, checksum);
+  const Nanos t_data_ack = rpc_.machine().loop().Now();
+  if (!ws.ok()) {
+    persist_waits_.erase(reqid);
+    co_return Status::IoError("data write failed: " + ws.ToString());
+  }
+
+  // Wait for the MetaX-persisted ack (already satisfied in Cheetah-OW).
+  Nanos t_meta_ack = t_alloc;
+  if (!reply->persisted) {
+    const bool fired = co_await wait->done.TimedWait(options_.rpc_timeout);
+    t_meta_ack = rpc_.machine().loop().Now();
+    if (!fired || !wait->ok) {
+      persist_waits_.erase(reqid);
+      co_return Status::Unavailable("MetaX persistence did not complete");
+    }
+  }
+  persist_waits_.erase(reqid);
+
+  // Committed (Pseudocode 1 line 9); notify the primary (line 10).
+  PutCommitNotify commit;
+  commit.view = topo_.view;
+  commit.name = name;
+  commit.reqid = reqid;
+  rpc_.Notify(primary, std::move(commit));
+
+  if (options_.enable_read_cache) {
+    ObMeta cached;
+    cached.lvid = reply->lvid;
+    cached.extents = reply->extents;
+    cached.checksum = checksum;
+    cached.size = data.size();
+    meta_cache_[name] = std::move(cached);
+  }
+
+  breakdown_.pre_mds += static_cast<double>(t_sent - t0);
+  breakdown_.mds1 += static_cast<double>(t_alloc - t_sent);
+  breakdown_.mds2 += static_cast<double>(t_meta_ack > t_alloc ? t_meta_ack - t_alloc : 0);
+  breakdown_.pre_ds += static_cast<double>(t_data_sent - t_alloc);
+  breakdown_.ds += static_cast<double>(t_data_ack - t_data_sent);
+  ++breakdown_.samples;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> ClientProxy::WriteDataReplicas(const cluster::LogicalVolume& lv,
+                                                 const std::vector<alloc::Extent>& extents,
+                                                 const std::string& data, uint32_t checksum) {
+  std::vector<sim::Task<Status>> tasks;
+  for (cluster::PvId pv_id : lv.replicas) {
+    const cluster::PhysicalVolume* pv = topo_.FindPv(pv_id);
+    if (pv == nullptr) {
+      co_return Status::StaleView("physical volume unknown");
+    }
+    tasks.push_back([](ClientProxy* self, const cluster::PhysicalVolume* pv,
+                       uint32_t block_size, std::vector<alloc::Extent> extents,
+                       std::string data, uint32_t checksum) -> sim::Task<Status> {
+      DataWriteRequest write;
+      write.view = self->topo_.view;
+      write.device = pv->DeviceName();
+      write.disk_index = pv->disk_index;
+      write.block_size = block_size;
+      write.extents = std::move(extents);
+      write.data = std::move(data);
+      write.checksum = checksum;
+      const sim::NodeId target = pv->data_server;
+      auto r = co_await self->rpc_.Call(target, std::move(write), self->options_.rpc_timeout);
+      if (!r.ok()) {
+        if (r.status().IsTimeout()) {
+          self->ReportSuspect(target);
+        }
+        co_return r.status();
+      }
+      co_return Status::Ok();
+    }(this, pv, lv.block_size, extents, data, checksum));
+  }
+  auto results = co_await sim::WhenAll(std::move(tasks));
+  for (const Status& s : results) {
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  co_return Status::Ok();
+}
+
+// ---- get ----
+
+sim::Task<Result<std::string>> ClientProxy::Get(std::string name) {
+  CO_RETURN_IF_ERROR(co_await EnsureTopology());
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    const cluster::PgId pg = topo_.PgOf(name);
+    const sim::NodeId primary = topo_.PrimaryOf(pg);
+
+    // §7 read optimization: with cached metadata, overlap the authoritative
+    // metadata lookup with the data read.
+    auto cached = options_.enable_read_cache ? meta_cache_.find(name) : meta_cache_.end();
+    if (cached != meta_cache_.end()) {
+      ++stats_.cache_hits;
+      struct ParallelGet {
+        Result<std::string> data = Status::Internal("unresolved");
+        Result<GetMetaReply> meta = Status::Internal("unresolved");
+      };
+      auto par = std::make_shared<ParallelGet>();
+      std::vector<sim::Task<>> tasks;
+      tasks.push_back([](ClientProxy* self, ObMeta m,
+                         std::shared_ptr<ParallelGet> par) -> sim::Task<> {
+        par->data = co_await self->ReadData(m, /*verify=*/true);
+      }(this, cached->second, par));
+      GetMetaRequest req;
+      req.view = topo_.view;
+      req.name = name;
+      tasks.push_back([](ClientProxy* self, sim::NodeId primary, GetMetaRequest req,
+                         std::shared_ptr<ParallelGet> par) -> sim::Task<> {
+        par->meta = co_await self->rpc_.Call(primary, std::move(req),
+                                             self->options_.rpc_timeout);
+      }(this, primary, std::move(req), par));
+      co_await sim::WhenAllVoid(std::move(tasks));
+      auto& meta = par->meta;
+      auto& data0 = par->data;
+      if (meta.ok() && data0.ok() && meta->meta.checksum == cached->second.checksum) {
+        ++stats_.gets;
+        co_return std::move(data0);
+      }
+      meta_cache_.erase(name);
+      if (meta.ok() && !data0.ok()) {
+        // Metadata moved (migration/recovery): retry the read at the fresh
+        // location using the authoritative metadata.
+        auto data = co_await ReadData(par->meta->meta, /*verify=*/true);
+        if (data.ok()) {
+          ++stats_.gets;
+          co_return data;
+        }
+      }
+      if (!meta.ok() && meta.status().IsNotFound()) {
+        co_return meta.status();
+      }
+      // fall through into the uncached path for error handling
+    }
+
+    GetMetaRequest req;
+    req.view = topo_.view;
+    req.name = name;
+    auto meta = co_await rpc_.Call(primary, std::move(req), options_.rpc_timeout);
+    if (!meta.ok()) {
+      if (meta.status().IsNotFound()) {
+        co_return meta.status();
+      }
+      LOG_DEBUG << "proxy " << proxy_id_ << " get " << name << " attempt " << attempt
+                << " meta: " << meta.status().ToString();
+      ++stats_.retries;
+      if (meta.status().IsTimeout()) {
+        ReportSuspect(primary);
+      }
+      if (meta.status().IsStaleView()) {
+        (void)co_await RefreshTopology();
+      } else {
+        co_await BackoffAndRefresh(attempt);
+      }
+      continue;
+    }
+    auto data = co_await ReadData(meta->meta, /*verify=*/true);
+    if (data.ok()) {
+      if (options_.enable_read_cache) {
+        meta_cache_[name] = meta->meta;
+      }
+      ++stats_.gets;
+      co_return data;
+    }
+    LOG_DEBUG << "proxy " << proxy_id_ << " get " << name << " attempt " << attempt
+              << " data: " << data.status().ToString();
+    ++stats_.retries;
+    co_await BackoffAndRefresh(attempt);
+  }
+  ++stats_.failures;
+  co_return Status::Unavailable("get exhausted retries");
+}
+
+sim::Task<Result<std::string>> ClientProxy::ReadData(const ObMeta& meta, bool verify) {
+  const cluster::LogicalVolume* lv = topo_.FindLv(meta.lvid);
+  if (lv == nullptr) {
+    co_return Status::StaleView("volume unknown");
+  }
+  // The lease lets a get read from any one of the n data servers (§5.1).
+  std::vector<cluster::PvId> order = lv->replicas;
+  const size_t start = rng_.Uniform(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const cluster::PhysicalVolume* pv = topo_.FindPv(order[(start + i) % order.size()]);
+    if (pv == nullptr || !pv->healthy) {
+      continue;
+    }
+    DataReadRequest read;
+    read.device = pv->DeviceName();
+    read.disk_index = pv->disk_index;
+    read.block_size = lv->block_size;
+    read.extents = meta.extents;
+    read.length = meta.size;
+    auto r = co_await rpc_.Call(pv->data_server, std::move(read), options_.rpc_timeout);
+    if (!r.ok()) {
+      if (r.status().IsTimeout()) {
+        ReportSuspect(pv->data_server);
+      }
+      continue;
+    }
+    if (verify) {
+      // Full-content mode: recompute; metadata-only mode: the device reports
+      // the checksum it stored at write time.
+      const uint32_t crc = r->content_valid ? Crc32c(r->data) : r->checksum;
+      if (crc != meta.checksum || r->checksum != meta.checksum) {
+        continue;  // corrupt/partial replica; try another
+      }
+    }
+    co_return std::move(r->data);
+  }
+  co_return Status::Unavailable("no data replica answered");
+}
+
+// ---- delete ----
+
+sim::Task<Status> ClientProxy::Delete(std::string name) {
+  CO_RETURN_IF_ERROR(co_await EnsureTopology());
+  meta_cache_.erase(name);
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    const cluster::PgId pg = topo_.PgOf(name);
+    const sim::NodeId primary = topo_.PrimaryOf(pg);
+    DeleteRequest req;
+    req.view = topo_.view;
+    req.name = name;
+    auto r = co_await rpc_.Call(primary, std::move(req), options_.rpc_timeout);
+    if (r.ok()) {
+      ++stats_.deletes;
+      co_return Status::Ok();
+    }
+    if (r.status().IsNotFound()) {
+      co_return r.status();
+    }
+    ++stats_.retries;
+    if (r.status().IsTimeout()) {
+      ReportSuspect(primary);
+    }
+    if (r.status().IsStaleView()) {
+      (void)co_await RefreshTopology();
+    } else {
+      co_await BackoffAndRefresh(attempt);
+    }
+  }
+  ++stats_.failures;
+  co_return Status::Unavailable("delete exhausted retries");
+}
+
+}  // namespace cheetah::core

@@ -1,0 +1,110 @@
+// Cheetah client proxy: the application's portal (§4.1).
+//
+// Put runs the paper's parallel pipeline (Pseudocode 1 / Fig. 4): after the
+// primary meta server returns the allocation, the proxy streams object data
+// to the n data servers while MetaX persists on the n meta servers; the put
+// commits once both complete, and the proxy fire-and-forgets the commit
+// notification. Failures surface as RE-META / RE-DATA retries (§5.3), and
+// kStaleView replies trigger a topology refresh.
+//
+// The §7 read optimization: the proxy caches (lvid, extents, checksum) of
+// objects it recently put or fetched, and on a cache hit issues the metadata
+// lookup and the data read in parallel.
+#ifndef SRC_CORE_CLIENT_PROXY_H_
+#define SRC_CORE_CLIENT_PROXY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/messages.h"
+#include "src/common/random.h"
+#include "src/core/messages.h"
+#include "src/core/options.h"
+#include "src/rpc/node.h"
+#include "src/sim/sync.h"
+
+namespace cheetah::core {
+
+class ClientProxy {
+ public:
+  ClientProxy(rpc::Node& rpc, CheetahOptions options,
+              std::vector<sim::NodeId> manager_nodes, uint32_t proxy_id);
+
+  void Start();
+
+  // Blocking object operations (complete when committed / data verified).
+  sim::Task<Status> Put(std::string name, std::string data);
+  sim::Task<Result<std::string>> Get(std::string name);
+  sim::Task<Status> Delete(std::string name);
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t deletes = 0;
+    uint64_t retries = 0;
+    uint64_t failures = 0;
+    uint64_t cache_hits = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Put-latency decomposition accumulators for Fig. 6 (all in virtual ns).
+  struct Breakdown {
+    double pre_mds = 0;  // preprocessing + request send
+    double mds1 = 0;     // allocation reply received
+    double mds2 = 0;     // MetaX-persisted ack received (delta from mds1)
+    double pre_ds = 0;   // data requests sent
+    double ds = 0;       // data acks received (delta from pre_ds)
+    uint64_t samples = 0;
+  };
+  const Breakdown& breakdown() const { return breakdown_; }
+
+  uint64_t view() const { return topo_.view; }
+  const cluster::TopologyMap& topology() const { return topo_; }
+  uint32_t proxy_id() const { return proxy_id_; }
+
+ private:
+  struct PersistWait {
+    sim::Event done;
+    bool ok = false;
+  };
+
+  sim::Task<Status> EnsureTopology();
+  sim::Task<Status> RefreshTopology();
+  void ReportSuspect(sim::NodeId node);
+  sim::Task<> BackoffAndRefresh(int attempt);
+
+  // One full put attempt; the caller loops on retryable failures.
+  sim::Task<Status> PutAttempt(const std::string& name, const std::string& data,
+                               uint32_t checksum, ReqId reqid, bool re_meta, bool re_data);
+  sim::Task<Status> WriteDataReplicas(const cluster::LogicalVolume& lv,
+                                      const std::vector<alloc::Extent>& extents,
+                                      const std::string& data, uint32_t checksum);
+  sim::Task<Result<std::string>> ReadData(const ObMeta& meta, bool verify);
+
+  sim::Task<Result<MetaPersistedAck>> HandlePersisted(sim::NodeId src,
+                                                      MetaPersistedNotify req);
+  sim::Task<Result<cluster::TopologyPushReply>> HandleTopologyPush(sim::NodeId src,
+                                                                   cluster::TopologyPush req);
+  sim::Task<> HeartbeatLoop();
+
+  rpc::Node& rpc_;
+  CheetahOptions options_;
+  std::vector<sim::NodeId> manager_nodes_;
+  uint32_t proxy_id_;
+  Rng rng_;
+
+  cluster::TopologyMap topo_;
+  uint64_t next_req_ = 1;
+  std::map<ReqId, std::shared_ptr<PersistWait>> persist_waits_;
+  std::unordered_map<std::string, ObMeta> meta_cache_;
+
+  Stats stats_;
+  Breakdown breakdown_;
+};
+
+}  // namespace cheetah::core
+
+#endif  // SRC_CORE_CLIENT_PROXY_H_

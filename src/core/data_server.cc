@@ -1,0 +1,201 @@
+#include "src/core/data_server.h"
+
+#include <algorithm>
+
+#include "src/common/crc32c.h"
+#include "src/common/logging.h"
+#include "src/sim/actor.h"
+
+namespace cheetah::core {
+
+DataServer::DataServer(rpc::Node& rpc, CheetahOptions options,
+                       std::vector<sim::NodeId> manager_nodes)
+    : rpc_(rpc), options_(std::move(options)), manager_nodes_(std::move(manager_nodes)) {}
+
+void DataServer::Start() {
+  rpc_.Serve<DataWriteRequest>([this](sim::NodeId src, DataWriteRequest req) {
+    return HandleWrite(src, std::move(req));
+  });
+  rpc_.Serve<DataReadRequest>([this](sim::NodeId src, DataReadRequest req) {
+    return HandleRead(src, std::move(req));
+  });
+  rpc_.Serve<DataProbeRequest>([this](sim::NodeId src, DataProbeRequest req) {
+    return HandleProbe(src, std::move(req));
+  });
+  rpc_.Serve<DataDiscardRequest>([this](sim::NodeId src, DataDiscardRequest req) {
+    return HandleDiscard(src, std::move(req));
+  });
+  rpc_.Serve<VolumePullRequest>([this](sim::NodeId src, VolumePullRequest req) {
+    return HandlePull(src, std::move(req));
+  });
+  rpc_.Serve<cluster::RecoverVolumeRequest>(
+      [this](sim::NodeId src, cluster::RecoverVolumeRequest req) {
+        return HandleRecover(src, std::move(req));
+      });
+  rpc_.machine().actor().Spawn(HeartbeatLoop());
+}
+
+sim::Task<> DataServer::ChargeFsOverhead(uint32_t disk_index) {
+  if (options_.fs_backed_data) {
+    // One extra metadata write (journal/inode) per file-backed data op.
+    co_await DiskFor(disk_index).ChargeWrite(options_.fs_overhead_bytes);
+  }
+}
+
+sim::Task<Result<DataWriteReply>> DataServer::HandleWrite(sim::NodeId src,
+                                                          DataWriteRequest req) {
+  sim::Storage& disk = DiskFor(req.disk_index);
+  co_await ChargeFsOverhead(req.disk_index);
+  // Split the object payload across the extents in order. Each stored extent
+  // carries the whole-object checksum so probes and metadata-only reads can
+  // report it without reassembling the payload.
+  uint64_t consumed = 0;
+  for (const auto& e : req.extents) {
+    const uint64_t extent_bytes = e.count * req.block_size;
+    const uint64_t take = std::min<uint64_t>(extent_bytes, req.data.size() - consumed);
+    std::string slice = req.data.substr(consumed, take);
+    consumed += take;
+    Status s = co_await disk.WriteBlocks(req.device, e.block * req.block_size,
+                                         std::move(slice), req.checksum);
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  ++stats_.writes;
+  stats_.bytes_written += req.data.size();
+  DataWriteReply reply;
+  reply.checksum = req.checksum;
+  co_return reply;
+}
+
+sim::Task<Result<DataReadReply>> DataServer::HandleRead(sim::NodeId src,
+                                                        DataReadRequest req) {
+  sim::Storage& disk = DiskFor(req.disk_index);
+  co_await ChargeFsOverhead(req.disk_index);
+  DataReadReply reply;
+  reply.content_valid = disk.store_volume_content();
+  uint64_t remaining = req.length;
+  for (const auto& e : req.extents) {
+    const uint64_t offset = e.block * req.block_size;
+    const uint64_t extent_bytes = e.count * req.block_size;
+    const uint64_t want = std::min<uint64_t>(extent_bytes, remaining);
+    auto data = co_await disk.ReadBlocks(req.device, offset, want);
+    if (!data.ok()) {
+      co_return data.status();
+    }
+    // All extents of an object store the same whole-object checksum.
+    if (auto crc = disk.PeekChecksum(req.device, offset)) {
+      reply.checksum = *crc;
+    }
+    reply.data += *data;
+    remaining -= want;
+  }
+  ++stats_.reads;
+  stats_.bytes_read += reply.data.size();
+  co_return reply;
+}
+
+sim::Task<Result<DataProbeReply>> DataServer::HandleProbe(sim::NodeId src,
+                                                          DataProbeRequest req) {
+  sim::Storage& disk = DiskFor(req.disk_index);
+  DataProbeReply reply;
+  reply.present = true;
+  for (const auto& e : req.extents) {
+    auto crc = co_await disk.ProbeChecksum(req.device, e.block * req.block_size);
+    if (!crc.ok() || *crc != req.expected_checksum) {
+      reply.present = false;
+      reply.checksum = crc.ok() ? *crc : 0;
+      ++stats_.probes;
+      co_return reply;
+    }
+    reply.checksum = *crc;
+  }
+  ++stats_.probes;
+  co_return reply;
+}
+
+sim::Task<Result<DataDiscardReply>> DataServer::HandleDiscard(sim::NodeId src,
+                                                              DataDiscardRequest req) {
+  sim::Storage& disk = DiskFor(req.disk_index);
+  for (const auto& e : req.extents) {
+    disk.DiscardBlocks(req.device, e.block * req.block_size);
+  }
+  co_return DataDiscardReply{};
+}
+
+sim::Task<Result<VolumePullReply>> DataServer::HandlePull(sim::NodeId src,
+                                                          VolumePullRequest req) {
+  sim::Storage& disk = DiskFor(req.disk_index);
+  VolumePullReply reply;
+  for (const auto& info : disk.ListVolumeExtents(req.device)) {
+    auto data = co_await disk.ReadBlocks(req.device, info.offset, info.length);
+    if (!data.ok()) {
+      co_return data.status();
+    }
+    VolumePullReply::ExtentData extent;
+    extent.offset = info.offset;
+    extent.data = std::move(*data);
+    extent.checksum = info.checksum;
+    reply.total_bytes += info.length;
+    reply.extents.push_back(std::move(extent));
+  }
+  co_return reply;
+}
+
+sim::Task<Result<cluster::RecoverVolumeReply>> DataServer::HandleRecover(
+    sim::NodeId src, cluster::RecoverVolumeRequest req) {
+  // Pull the healthy replica's contents and materialize the replacement PV.
+  cluster::PhysicalVolume source;
+  source.id = req.source_pv;
+  VolumePullRequest pull;
+  pull.device = source.DeviceName();
+  pull.disk_index = req.source_disk;
+  auto pulled = co_await rpc_.Call(req.source_server, std::move(pull),
+                                   Seconds(60));
+  if (!pulled.ok()) {
+    co_return pulled.status();
+  }
+  cluster::PhysicalVolume target;
+  target.id = req.target_pv;
+  sim::Storage& disk = DiskFor(req.target_disk);
+  uint64_t copied = 0;
+  for (auto& extent : pulled->extents) {
+    const uint64_t len = std::max<uint64_t>(extent.data.size(), 1);
+    copied += len;
+    Status s = co_await disk.WriteBlocks(target.DeviceName(), extent.offset,
+                                         std::move(extent.data), extent.checksum);
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  ++stats_.volumes_recovered;
+  stats_.recovery_bytes += copied;
+  // Tell the manager the volume is whole again.
+  for (sim::NodeId mgr : manager_nodes_) {
+    cluster::RecoveryDoneRequest done;
+    done.lv = req.lv;
+    done.target_pv = req.target_pv;
+    done.bytes_copied = copied;
+    rpc_.Notify(mgr, std::move(done));
+  }
+  cluster::RecoverVolumeReply reply;
+  reply.bytes_copied = copied;
+  co_return reply;
+}
+
+sim::Task<> DataServer::HeartbeatLoop() {
+  for (;;) {
+    for (sim::NodeId mgr : manager_nodes_) {
+      cluster::HeartbeatRequest hb;
+      hb.node = rpc_.id();
+      hb.kind = cluster::ServerKind::kDataServer;
+      auto r = co_await rpc_.Call(mgr, std::move(hb), options_.rpc_timeout);
+      if (r.ok() && r->is_leader) {
+        break;
+      }
+    }
+    co_await sim::SleepFor(options_.heartbeat_interval);
+  }
+}
+
+}  // namespace cheetah::core

@@ -1,0 +1,70 @@
+// Cheetah data server: the ultralight raw data service (§3.1, §4.3.3).
+//
+// Data servers are object-agnostic: they write and read raw blocks at the
+// extents the request names, with no file abstraction and no local metadata
+// beyond what the device itself keeps. A delete never touches a data server
+// (the meta server just clears allocator bits); space reuse is immediate.
+//
+// The server also participates in recovery: it answers checksum probes from
+// meta servers (§4.3.2/§5.3) and rebuilds replacement physical volumes by
+// pulling a healthy replica's contents (§5.3 "restored in parallel").
+//
+// Cheetah-FS (Fig. 10): when fs_backed_data is set, every data operation
+// pays an extra filesystem-metadata write, modeling XFS-style file-backed
+// volumes instead of raw block access.
+#ifndef SRC_CORE_DATA_SERVER_H_
+#define SRC_CORE_DATA_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cluster/messages.h"
+#include "src/core/messages.h"
+#include "src/core/options.h"
+#include "src/rpc/node.h"
+
+namespace cheetah::core {
+
+class DataServer {
+ public:
+  DataServer(rpc::Node& rpc, CheetahOptions options,
+             std::vector<sim::NodeId> manager_nodes);
+
+  // Registers RPC handlers and starts the heartbeat loop.
+  void Start();
+
+  struct Stats {
+    uint64_t writes = 0;
+    uint64_t reads = 0;
+    uint64_t probes = 0;
+    uint64_t bytes_written = 0;
+    uint64_t bytes_read = 0;
+    uint64_t volumes_recovered = 0;
+    uint64_t recovery_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Storage& DiskFor(uint32_t disk_index) {
+    return rpc_.machine().disk(disk_index % rpc_.machine().num_disks());
+  }
+  sim::Task<> ChargeFsOverhead(uint32_t disk_index);
+
+  sim::Task<Result<DataWriteReply>> HandleWrite(sim::NodeId src, DataWriteRequest req);
+  sim::Task<Result<DataReadReply>> HandleRead(sim::NodeId src, DataReadRequest req);
+  sim::Task<Result<DataProbeReply>> HandleProbe(sim::NodeId src, DataProbeRequest req);
+  sim::Task<Result<DataDiscardReply>> HandleDiscard(sim::NodeId src, DataDiscardRequest req);
+  sim::Task<Result<VolumePullReply>> HandlePull(sim::NodeId src, VolumePullRequest req);
+  sim::Task<Result<cluster::RecoverVolumeReply>> HandleRecover(
+      sim::NodeId src, cluster::RecoverVolumeRequest req);
+  sim::Task<> HeartbeatLoop();
+
+  rpc::Node& rpc_;
+  CheetahOptions options_;
+  std::vector<sim::NodeId> manager_nodes_;
+  Stats stats_;
+};
+
+}  // namespace cheetah::core
+
+#endif  // SRC_CORE_DATA_SERVER_H_

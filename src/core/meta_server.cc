@@ -1,0 +1,1129 @@
+#include "src/core/meta_server.h"
+
+#include <algorithm>
+
+#include "src/common/crc32c.h"
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/sim/actor.h"
+#include "src/sim/sync.h"
+
+namespace cheetah::core {
+
+namespace {
+
+std::string BitmapFile(cluster::LvId lv) { return "bitmap_" + std::to_string(lv); }
+
+}  // namespace
+
+MetaServer::MetaServer(rpc::Node& rpc, CheetahOptions options,
+                       std::vector<sim::NodeId> manager_nodes, uint64_t seed)
+    : rpc_(rpc),
+      options_(std::move(options)),
+      manager_nodes_(std::move(manager_nodes)),
+      seed_(seed) {}
+
+void MetaServer::Start() {
+  rpc_.Serve<PutAllocRequest>([this](sim::NodeId src, PutAllocRequest req) {
+    return HandlePutAlloc(src, std::move(req));
+  });
+  rpc_.Serve<PutCommitNotify>([this](sim::NodeId src, PutCommitNotify req) {
+    return HandleCommit(src, std::move(req));
+  });
+  rpc_.Serve<GetMetaRequest>([this](sim::NodeId src, GetMetaRequest req) {
+    return HandleGet(src, std::move(req));
+  });
+  rpc_.Serve<DeleteRequest>([this](sim::NodeId src, DeleteRequest req) {
+    return HandleDelete(src, std::move(req));
+  });
+  rpc_.Serve<ReplicateMetaXRequest>([this](sim::NodeId src, ReplicateMetaXRequest req) {
+    return HandleReplicate(src, std::move(req));
+  });
+  rpc_.Serve<PgPullRequest>([this](sim::NodeId src, PgPullRequest req) {
+    return HandlePgPull(src, std::move(req));
+  });
+  rpc_.Serve<cluster::TopologyPush>([this](sim::NodeId src, cluster::TopologyPush req) {
+    return HandleTopologyPush(src, std::move(req));
+  });
+  rpc_.machine().actor().Spawn(Init());
+}
+
+sim::Task<> MetaServer::Init() {
+  kv::Options kv_opts = options_.metax_kv;
+  kv_opts.name = "metax";
+  auto db = co_await kv::DB::Open(std::move(kv_opts), &rpc_.machine().disk(0));
+  if (!db.ok()) {
+    LOG_ERROR << "meta server " << rpc_.id() << ": db open failed: "
+              << db.status().ToString();
+    co_return;
+  }
+  db_ = std::move(*db);
+  rpc_.machine().actor().Spawn(HeartbeatLoop());
+  rpc_.machine().actor().Spawn(CleanerLoop());
+  if (options_.scrub_interval > 0) {
+    rpc_.machine().actor().Spawn(ScrubLoop());
+  }
+}
+
+bool MetaServer::HasLease() const {
+  return rpc_.machine().loop().Now() < lease_until_;
+}
+
+bool MetaServer::IsPrimary(cluster::PgId pg) const {
+  return topo_.pg_count > 0 && topo_.PrimaryOf(pg) == rpc_.id();
+}
+
+Status MetaServer::CheckRequest(uint64_t view, cluster::PgId pg, bool need_primary) const {
+  if (db_ == nullptr || topo_.view == 0) {
+    return Status::Unavailable("meta server initializing");
+  }
+  if (view != topo_.view) {
+    return Status::StaleView("server at view " + std::to_string(topo_.view));
+  }
+  if (!HasLease()) {
+    return Status::Unavailable("lease expired");
+  }
+  if (!ready_pgs_.contains(pg)) {
+    return Status::Unavailable("pg not ready");
+  }
+  if (need_primary && !IsPrimary(pg)) {
+    return Status::StaleView("not the primary of this pg");
+  }
+  return Status::Ok();
+}
+
+std::vector<cluster::LvId> MetaServer::EffectiveVg(cluster::PgId pg) const {
+  if (!options_.no_volume_groups) {
+    auto it = topo_.vgs.find(pg);
+    return it == topo_.vgs.end() ? std::vector<cluster::LvId>{} : it->second;
+  }
+  // Cheetah-NoVG: volumes are partitioned over PGs in an order keyed by the
+  // meta membership, so meta expansion reshuffles which volumes belong to
+  // which PG and object data must chase its PG's new volumes (Fig. 14).
+  uint64_t meta_seed = 0;
+  for (const auto& item : topo_.meta_crush.items()) {
+    meta_seed = Mix64(meta_seed ^ item.id);
+  }
+  std::vector<std::pair<uint64_t, cluster::LvId>> shuffled;
+  for (const auto& [id, lv] : topo_.lvs) {
+    shuffled.emplace_back(Mix64(id * 0x9e3779b97f4a7c15ull ^ meta_seed), id);
+  }
+  std::sort(shuffled.begin(), shuffled.end());
+  std::vector<cluster::LvId> out;
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    if (i % topo_.pg_count == pg) {
+      out.push_back(shuffled[i].second);
+    }
+  }
+  return out;
+}
+
+alloc::BitmapAllocator* MetaServer::AllocatorFor(cluster::LvId lv_id) {
+  auto it = allocators_.find(lv_id);
+  if (it != allocators_.end()) {
+    return &it->second;
+  }
+  const cluster::LogicalVolume* lv = topo_.FindLv(lv_id);
+  if (lv == nullptr) {
+    return nullptr;
+  }
+  auto [nit, inserted] =
+      allocators_.emplace(lv_id, alloc::BitmapAllocator(lv->TotalBlocks(), lv->block_size));
+  return &nit->second;
+}
+
+Result<std::pair<cluster::LvId, std::vector<alloc::Extent>>> MetaServer::AllocateSpace(
+    cluster::PgId pg, uint64_t bytes) {
+  std::vector<cluster::LvId> candidates = EffectiveVg(pg);
+  // Prefer the volume with the most free space (simple load balancing).
+  std::sort(candidates.begin(), candidates.end(),
+            [this](cluster::LvId a, cluster::LvId b) {
+              auto* aa = allocators_.find(a) != allocators_.end() ? &allocators_.at(a) : nullptr;
+              auto* bb = allocators_.find(b) != allocators_.end() ? &allocators_.at(b) : nullptr;
+              const uint64_t fa = aa ? aa->free_blocks() : ~0ull;
+              const uint64_t fb = bb ? bb->free_blocks() : ~0ull;
+              return fa > fb;
+            });
+  for (cluster::LvId lv_id : candidates) {
+    const cluster::LogicalVolume* lv = topo_.FindLv(lv_id);
+    if (lv == nullptr || !lv->writable) {
+      continue;
+    }
+    alloc::BitmapAllocator* allocator = AllocatorFor(lv_id);
+    if (allocator == nullptr) {
+      continue;
+    }
+    auto extents = allocator->Allocate(bytes);
+    if (extents.ok()) {
+      return std::make_pair(lv_id, std::move(*extents));
+    }
+  }
+  return Status::ResourceExhausted("no writable volume can fit the object");
+}
+
+// ---- put ----
+
+sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
+                                                            PutAllocRequest req) {
+  const cluster::PgId pg = topo_.pg_count ? topo_.PgOf(req.name) : 0;
+  CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
+  ++stats_.put_allocs;
+
+  // Resume path (§5.3 RE-META): the put already allocated — return the same
+  // allocation and re-replicate MetaX so the backups converge.
+  if (auto it = pending_names_.find(req.name); it != pending_names_.end()) {
+    PendingPut& p = pending_[it->second];
+    if (p.reqid == req.reqid) {
+      if (req.re_data) {
+        // §5.3 RE-DATA: atomically pick a new volume and revoke the old
+        // allocation on the problematic one.
+        if (alloc::BitmapAllocator* a = AllocatorFor(p.meta.lvid)) {
+          a->Free(p.meta.extents);
+        }
+        co_await DiscardData(p.meta);
+        auto alloc = AllocateSpace(pg, req.size);
+        if (!alloc.ok()) {
+          co_return alloc.status();
+        }
+        p.meta.lvid = alloc->first;
+        p.meta.extents = std::move(alloc->second);
+      }
+      std::vector<std::pair<std::string, std::string>> puts;
+      puts.emplace_back(ObMetaKey(pg, req.name), p.meta.Encode());
+      PgLog pglog;
+      pglog.name = req.name;
+      pglog.pxlogkey = PxLogKey(p.proxy_id, p.reqid);
+      puts.emplace_back(PgLogKey(pg, p.opseq), pglog.Encode());
+      PxLog pxlog;
+      pxlog.name = req.name;
+      pxlog.pglogkey = PgLogKey(pg, p.opseq);
+      puts.emplace_back(PxLogKey(p.proxy_id, p.reqid), pxlog.Encode());
+      Status ps = co_await PersistAndReplicate(pg, std::move(puts), {});
+      PutAllocReply reply;
+      reply.lvid = p.meta.lvid;
+      reply.extents = p.meta.extents;
+      reply.opseq = p.opseq;
+      reply.persisted = true;
+      if (!ps.ok()) {
+        co_return ps;
+      }
+      p.persisted = true;
+      co_return reply;
+    }
+    co_return Status::AlreadyExists("object has an in-flight put");
+  }
+
+  // Immutability: an existing (visible) object cannot be overwritten.
+  {
+    auto existing = co_await db_->Get(ObMetaKey(pg, req.name));
+    if (existing.ok()) {
+      co_return Status::AlreadyExists("object exists (immutable)");
+    }
+  }
+
+  auto alloc = AllocateSpace(pg, req.size);
+  if (!alloc.ok()) {
+    co_return alloc.status();
+  }
+  const uint64_t opseq = ++pg_opseq_[pg];
+
+  PendingPut p;
+  p.reqid = req.reqid;
+  p.name = req.name;
+  p.pg = pg;
+  p.opseq = opseq;
+  p.proxy_id = req.proxy_id;
+  p.proxy_node = req.proxy_node;
+  p.meta.lvid = alloc->first;
+  p.meta.extents = std::move(alloc->second);
+  p.meta.checksum = req.checksum;
+  p.meta.size = req.size;
+  p.born = rpc_.machine().loop().Now();
+
+  std::vector<std::pair<std::string, std::string>> puts;
+  puts.emplace_back(ObMetaKey(pg, req.name), p.meta.Encode());
+  if (!options_.thin_directory_mode) {
+    PgLog pglog;
+    pglog.name = req.name;
+    pglog.pxlogkey = PxLogKey(req.proxy_id, req.reqid);
+    puts.emplace_back(PgLogKey(pg, opseq), pglog.Encode());
+    PxLog pxlog;
+    pxlog.name = req.name;
+    pxlog.pglogkey = PgLogKey(pg, opseq);
+    puts.emplace_back(PxLogKey(req.proxy_id, req.reqid), pxlog.Encode());
+  }
+
+  PutAllocReply reply;
+  reply.lvid = p.meta.lvid;
+  reply.extents = p.meta.extents;
+  reply.opseq = opseq;
+
+  pending_[req.reqid] = p;
+  pending_names_[req.name] = req.reqid;
+
+  if (options_.ordered_writes) {
+    // Cheetah-OW (Fig. 9): restore the ordering constraint — do not reply
+    // until MetaX is persisted everywhere.
+    Status ps = co_await PersistAndReplicate(pg, std::move(puts), {});
+    if (!ps.ok()) {
+      PendingPut doomed = pending_[req.reqid];
+      co_await RevokePut(std::move(doomed));
+      co_return ps;
+    }
+    if (auto it = pending_.find(req.reqid); it != pending_.end()) {
+      it->second.persisted = true;
+    }
+    reply.persisted = true;
+    co_return reply;
+  }
+
+  // Full Cheetah: reply NOW; persist + replicate in parallel and notify the
+  // proxy when done (Fig. 4 steps (2)(3)).
+  rpc_.machine().actor().Spawn(
+      [](MetaServer* self, cluster::PgId pg, ReqId reqid, sim::NodeId proxy_node,
+         std::vector<std::pair<std::string, std::string>> puts) -> sim::Task<> {
+        Status ps = co_await self->PersistAndReplicate(pg, std::move(puts), {});
+        if (auto it = self->pending_.find(reqid); it != self->pending_.end()) {
+          it->second.persisted = ps.ok();
+        }
+        MetaPersistedNotify note;
+        note.reqid = reqid;
+        note.ok = ps.ok();
+        self->rpc_.Notify(proxy_node, std::move(note));
+      }(this, pg, req.reqid, req.proxy_node, std::move(puts)));
+  co_return reply;
+}
+
+sim::Task<Status> MetaServer::PersistAndReplicate(
+    cluster::PgId pg, std::vector<std::pair<std::string, std::string>> puts,
+    std::vector<std::string> deletes) {
+  kv::WriteBatch batch;
+  for (auto& [k, v] : puts) {
+    batch.Put(k, v);
+  }
+  for (auto& k : deletes) {
+    batch.Delete(k);
+  }
+  std::vector<sim::Task<Status>> tasks;
+  tasks.push_back(db_->Write(std::move(batch)));
+  for (sim::NodeId backup : topo_.MetaServersOf(pg)) {
+    if (backup == rpc_.id()) {
+      continue;
+    }
+    tasks.push_back([](MetaServer* self, sim::NodeId backup, cluster::PgId pg,
+                       std::vector<std::pair<std::string, std::string>> puts,
+                       std::vector<std::string> deletes) -> sim::Task<Status> {
+      ReplicateMetaXRequest rep;
+      rep.view = self->topo_.view;
+      rep.pg = pg;
+      rep.puts = std::move(puts);
+      rep.deletes = std::move(deletes);
+      auto r = co_await self->rpc_.Call(backup, std::move(rep), self->options_.rpc_timeout);
+      co_return r.ok() ? Status::Ok() : r.status();
+    }(this, backup, pg, puts, deletes));
+  }
+  auto results = co_await sim::WhenAll(std::move(tasks));
+  for (const Status& s : results) {
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<ReplicateMetaXReply>> MetaServer::HandleReplicate(
+    sim::NodeId src, ReplicateMetaXRequest req) {
+  if (db_ == nullptr) {
+    co_return Status::Unavailable("initializing");
+  }
+  if (req.view < topo_.view) {
+    co_return Status::StaleView("replica at newer view");
+  }
+  kv::WriteBatch batch;
+  for (auto& [k, v] : req.puts) {
+    batch.Put(k, v);
+  }
+  for (auto& k : req.deletes) {
+    batch.Delete(k);
+  }
+  Status s = co_await db_->Write(std::move(batch));
+  if (!s.ok()) {
+    co_return s;
+  }
+  ++stats_.replications;
+  co_return ReplicateMetaXReply{};
+}
+
+sim::Task<Result<PutCommitAck>> MetaServer::HandleCommit(sim::NodeId src,
+                                                         PutCommitNotify req) {
+  auto it = pending_.find(req.reqid);
+  if (it != pending_.end()) {
+    it->second.committed = true;
+    pending_names_.erase(it->second.name);  // object becomes visible
+  }
+  co_return PutCommitAck{};
+}
+
+// ---- get ----
+
+sim::Task<Result<GetMetaReply>> MetaServer::HandleGet(sim::NodeId src, GetMetaRequest req) {
+  const cluster::PgId pg = topo_.pg_count ? topo_.PgOf(req.name) : 0;
+  CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
+  ++stats_.gets;
+
+  if (pending_names_.contains(req.name)) {
+    co_await WaitPendingResolved(req.name, Millis(5));
+  }
+  if (auto it = pending_names_.find(req.name); it != pending_names_.end()) {
+    // §4.3.2: a get for a pending object makes the primary check whether the
+    // data actually landed on the data servers (the proxy may have died
+    // after the data was persisted but before notifying us).
+    Status s = co_await VerifyPending(it->second);
+    if (!s.ok()) {
+      LOG_DEBUG << "get " << req.name << " pending verify: " << s.ToString();
+      co_return s;
+    }
+  }
+  auto value = co_await db_->Get(ObMetaKey(pg, req.name));
+  if (!value.ok()) {
+    co_return value.status();
+  }
+  auto meta = ObMeta::Decode(*value);
+  if (!meta.ok()) {
+    co_return meta.status();
+  }
+  GetMetaReply reply;
+  reply.meta = std::move(*meta);
+  co_return reply;
+}
+
+sim::Task<> MetaServer::WaitPendingResolved(const std::string& name, Nanos budget) {
+  // §4.3.2: "If M encounters a pending get, it will wait." Commit
+  // notifications arrive within a network round trip, so a short wait
+  // resolves the common case without the proxy-side retry/backoff path.
+  const Nanos deadline = rpc_.machine().loop().Now() + budget;
+  while (pending_names_.contains(name) && rpc_.machine().loop().Now() < deadline) {
+    co_await sim::SleepFor(Micros(200));
+  }
+}
+
+sim::Task<Status> MetaServer::VerifyPending(ReqId reqid) {
+  auto it = pending_.find(reqid);
+  if (it == pending_.end()) {
+    co_return Status::Ok();
+  }
+  PendingPut p = it->second;
+  // Re-read the authoritative record: a concurrent migration or RE-DATA may
+  // have moved the object since this pending entry was built.
+  {
+    auto value = co_await db_->Get(ObMetaKey(p.pg, p.name));
+    if (!value.ok()) {
+      pending_names_.erase(p.name);
+      pending_.erase(reqid);
+      co_return Status::NotFound("put already revoked");
+    }
+    auto meta = ObMeta::Decode(*value);
+    if (meta.ok()) {
+      p.meta = std::move(*meta);
+      it->second.meta = p.meta;
+    }
+  }
+  const cluster::LogicalVolume* lv = topo_.FindLv(p.meta.lvid);
+  if (lv == nullptr) {
+    co_return Status::Unavailable("volume missing during verify");
+  }
+  int present = 0;
+  int definitive = 0;
+  std::vector<const cluster::PhysicalVolume*> missing;
+  const cluster::PhysicalVolume* good = nullptr;
+  for (cluster::PvId pv_id : lv->replicas) {
+    const cluster::PhysicalVolume* pv = topo_.FindPv(pv_id);
+    if (pv == nullptr) {
+      continue;
+    }
+    DataProbeRequest probe;
+    probe.device = pv->DeviceName();
+    probe.disk_index = pv->disk_index;
+    probe.block_size = lv->block_size;
+    probe.extents = p.meta.extents;
+    probe.expected_checksum = p.meta.checksum;
+    auto r = co_await rpc_.Call(pv->data_server, std::move(probe), options_.rpc_timeout);
+    if (!r.ok()) {
+      continue;  // indeterminate
+    }
+    ++definitive;
+    if (r->present) {
+      ++present;
+      good = pv;
+    } else {
+      missing.push_back(pv);
+    }
+  }
+  if (definitive == 0) {
+    LOG_DEBUG << "verify " << p.name << ": no definitive probe";
+    co_return Status::Unavailable("data servers unreachable during verify");
+  }
+  if (present == 0) {
+    // The data never landed anywhere: the put is unfinished — revoke (§5.3).
+    co_await RevokePut(std::move(p));
+    co_return Status::NotFound("put revoked");
+  }
+  if (!missing.empty() && good != nullptr) {
+    // Partially replicated: complete the put by copying from a good replica.
+    DataReadRequest read;
+    read.device = good->DeviceName();
+    read.disk_index = good->disk_index;
+    read.block_size = lv->block_size;
+    read.extents = p.meta.extents;
+    read.length = p.meta.size;
+    auto data = co_await rpc_.Call(good->data_server, std::move(read), options_.rpc_timeout);
+    if (!data.ok()) {
+      co_return Status::Unavailable("repair read failed");
+    }
+    for (const cluster::PhysicalVolume* pv : missing) {
+      DataWriteRequest write;
+      write.view = topo_.view;
+      write.device = pv->DeviceName();
+      write.disk_index = pv->disk_index;
+      write.block_size = lv->block_size;
+      write.extents = p.meta.extents;
+      write.data = data->data;
+      write.checksum = p.meta.checksum;
+      auto w = co_await rpc_.Call(pv->data_server, std::move(write), options_.rpc_timeout);
+      if (!w.ok()) {
+        co_return Status::Unavailable("repair write failed");
+      }
+    }
+  }
+  // Complete: the put's effects are fully in place.
+  if (auto pit = pending_.find(reqid); pit != pending_.end()) {
+    pit->second.committed = true;
+    pending_names_.erase(pit->second.name);
+  }
+  ++stats_.completed_puts;
+  co_return Status::Ok();
+}
+
+sim::Task<> MetaServer::RevokePut(PendingPut p) {
+  std::vector<std::string> deletes;
+  deletes.push_back(ObMetaKey(p.pg, p.name));
+  deletes.push_back(PgLogKey(p.pg, p.opseq));
+  deletes.push_back(PxLogKey(p.proxy_id, p.reqid));
+  (void)co_await PersistAndReplicate(p.pg, {}, std::move(deletes));
+  if (alloc::BitmapAllocator* a = AllocatorFor(p.meta.lvid)) {
+    a->Free(p.meta.extents);
+  }
+  co_await DiscardData(p.meta);
+  pending_names_.erase(p.name);
+  pending_.erase(p.reqid);
+  ++stats_.revoked_puts;
+}
+
+sim::Task<> MetaServer::DiscardData(const ObMeta& meta) {
+  const cluster::LogicalVolume* lv = topo_.FindLv(meta.lvid);
+  if (lv == nullptr) {
+    co_return;
+  }
+  for (cluster::PvId pv_id : lv->replicas) {
+    const cluster::PhysicalVolume* pv = topo_.FindPv(pv_id);
+    if (pv == nullptr) {
+      continue;
+    }
+    DataDiscardRequest req;
+    req.device = pv->DeviceName();
+    req.disk_index = pv->disk_index;
+    req.block_size = lv->block_size;
+    req.extents = meta.extents;
+    rpc_.Notify(pv->data_server, std::move(req));
+  }
+}
+
+// ---- delete ----
+
+sim::Task<Result<DeleteReply>> MetaServer::HandleDelete(sim::NodeId src, DeleteRequest req) {
+  const cluster::PgId pg = topo_.pg_count ? topo_.PgOf(req.name) : 0;
+  CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
+  if (pending_names_.contains(req.name)) {
+    co_await WaitPendingResolved(req.name, Millis(5));
+    if (pending_names_.contains(req.name)) {
+      co_return Status::Unavailable("object has an in-flight put");
+    }
+  }
+  auto value = co_await db_->Get(ObMetaKey(pg, req.name));
+  if (!value.ok()) {
+    co_return value.status();
+  }
+  auto meta = ObMeta::Decode(*value);
+  if (!meta.ok()) {
+    co_return meta.status();
+  }
+  ++stats_.deletes;
+  // §4.3.3: delete = remove the MetaX record and clear the allocator bits —
+  // the reclaimed space is immediately reusable; data servers are untouched
+  // (the extents are dropped lazily via a discard notification).
+  std::vector<std::string> deletes;
+  deletes.push_back(ObMetaKey(pg, req.name));
+  Status s = co_await PersistAndReplicate(pg, {}, std::move(deletes));
+  if (!s.ok()) {
+    co_return s;
+  }
+  if (alloc::BitmapAllocator* a = AllocatorFor(meta->lvid)) {
+    a->Free(meta->extents);
+  }
+  // The in-memory bitmap is updated now (space immediately reusable); the
+  // on-disk copy syncs with the next log-clean cycle (§5.2).
+  dirty_bitmaps_.insert(meta->lvid);
+  co_await DiscardData(*meta);
+  co_return DeleteReply{};
+}
+
+sim::Task<Status> MetaServer::FlushBitmap(cluster::LvId lv) {
+  auto it = allocators_.find(lv);
+  if (it == allocators_.end()) {
+    co_return Status::Ok();
+  }
+  co_return co_await rpc_.machine().disk(0).WriteFile(BitmapFile(lv),
+                                                      it->second.Serialize(),
+                                                      /*sync=*/true);
+}
+
+// ---- PG pull (recovery / rebalancing) ----
+
+sim::Task<Result<PgPullReply>> MetaServer::HandlePgPull(sim::NodeId src, PgPullRequest req) {
+  if (db_ == nullptr) {
+    co_return Status::Unavailable("initializing");
+  }
+  PgPullReply reply;
+  // Paged OBMETA scan: transferring a PG in bounded chunks keeps any single
+  // message (and the puller's memory) bounded during recovery.
+  auto obmeta = co_await db_->Scan(ObMetaPrefix(req.pg), 0);
+  if (!obmeta.ok()) {
+    co_return obmeta.status();
+  }
+  size_t taken = 0;
+  bool exhausted = true;
+  for (auto& [key, value] : *obmeta) {
+    if (!req.start_after.empty() && key <= req.start_after) {
+      continue;
+    }
+    if (taken >= req.limit) {
+      exhausted = false;
+      break;
+    }
+    reply.next_start_after = key;
+    reply.kvs.emplace_back(std::move(key), std::move(value));
+    ++taken;
+  }
+  if (exhausted) {
+    reply.next_start_after.clear();  // final page: append the PG/PX logs
+    auto pglogs = co_await db_->Scan(PgLogPrefix(req.pg), 0);
+    if (!pglogs.ok()) {
+      co_return pglogs.status();
+    }
+    for (auto& [key, value] : *pglogs) {
+      auto log = PgLog::Decode(value);
+      if (log.ok()) {
+        auto pxlog = co_await db_->Get(log->pxlogkey);
+        if (pxlog.ok()) {
+          reply.kvs.emplace_back(log->pxlogkey, std::move(*pxlog));
+        }
+      }
+      reply.kvs.emplace_back(key, std::move(value));
+    }
+    ++stats_.pg_pulls_served;
+  }
+  co_return reply;
+}
+
+// ---- topology adoption ----
+
+sim::Task<Result<cluster::TopologyPushReply>> MetaServer::HandleTopologyPush(
+    sim::NodeId src, cluster::TopologyPush req) {
+  auto map = cluster::TopologyMap::Deserialize(req.serialized_map);
+  if (map.ok() && map->view > topo_.view) {
+    rpc_.machine().actor().Spawn(AdoptTopology(std::move(*map)));
+  }
+  co_return cluster::TopologyPushReply{};
+}
+
+sim::Task<> MetaServer::AdoptTopology(cluster::TopologyMap next) {
+  if (next.view <= topo_.view) {
+    co_return;
+  }
+  pending_topo_ = std::move(next);
+  if (adopting_ || db_ == nullptr) {
+    co_return;  // the running adoption will pick up the latest map
+  }
+  adopting_ = true;
+  while (pending_topo_.has_value()) {
+    cluster::TopologyMap map = std::move(*pending_topo_);
+    pending_topo_.reset();
+    cluster::TopologyMap old = topo_;
+    topo_ = std::move(map);
+    LOG_INFO << "meta " << rpc_.id() << ": adopting view " << topo_.view;
+
+    // Which PGs is this node responsible for now?
+    std::set<cluster::PgId> responsible;
+    for (cluster::PgId pg = 0; pg < topo_.pg_count; ++pg) {
+      auto servers = topo_.MetaServersOf(pg);
+      if (std::find(servers.begin(), servers.end(), rpc_.id()) != servers.end()) {
+        responsible.insert(pg);
+      }
+    }
+    std::set<cluster::PgId> previously_ready = std::move(ready_pgs_);
+    ready_pgs_.clear();
+
+    for (cluster::PgId pg : responsible) {
+      const bool had_it = previously_ready.contains(pg);
+      if (!had_it) {
+        // Pull the PG from a surviving replica of the previous view.
+        std::vector<sim::NodeId> sources;
+        if (old.view > 0) {
+          sources = old.MetaServersOf(pg);
+        } else {
+          sources = topo_.MetaServersOf(pg);
+        }
+        for (sim::NodeId source : sources) {
+          if (source == rpc_.id()) {
+            continue;
+          }
+          // Pull the PG page by page; each page is persisted as it lands so
+          // the recovery curve (Fig. 15) reflects actual transfer progress.
+          std::string cursor;
+          bool complete = false;
+          for (int page = 0; page < 100000; ++page) {
+            PgPullRequest pull;
+            pull.view = topo_.view;
+            pull.pg = pg;
+            pull.start_after = cursor;
+            pull.limit = 512;
+            auto r = co_await rpc_.Call(source, std::move(pull), options_.rpc_timeout);
+            if (!r.ok()) {
+              break;
+            }
+            kv::WriteBatch batch;
+            for (auto& [k, v] : r->kvs) {
+              batch.Put(k, v);
+            }
+            stats_.recovered_kvs += r->kvs.size();
+            (void)co_await db_->Write(std::move(batch));
+            if (r->next_start_after.empty()) {
+              complete = true;
+              break;
+            }
+            cursor = r->next_start_after;
+          }
+          if (complete) {
+            break;
+          }
+        }
+      }
+      if (IsPrimary(pg)) {
+        co_await RebuildPgState(pg);
+      }
+      ready_pgs_.insert(pg);
+    }
+
+    // Drop allocators for LVs we no longer manage.
+    std::set<cluster::LvId> managed;
+    for (cluster::PgId pg : responsible) {
+      if (IsPrimary(pg)) {
+        for (cluster::LvId lv : EffectiveVg(pg)) {
+          managed.insert(lv);
+        }
+      }
+    }
+    for (auto it = allocators_.begin(); it != allocators_.end();) {
+      if (!managed.contains(it->first)) {
+        it = allocators_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (options_.no_volume_groups) {
+      for (cluster::PgId pg : responsible) {
+        if (IsPrimary(pg)) {
+          rpc_.machine().actor().Spawn(MigratePgData(pg));
+        }
+      }
+    }
+  }
+  adopting_ = false;
+}
+
+sim::Task<> MetaServer::RebuildPgState(cluster::PgId pg) {
+  // Allocators: fresh bitmaps, then mark every extent recorded in OBMETA.
+  std::set<cluster::LvId> my_lvs;
+  for (cluster::LvId lv : EffectiveVg(pg)) {
+    allocators_.erase(lv);
+    (void)AllocatorFor(lv);
+    my_lvs.insert(lv);
+  }
+  // With VGs a volume's extents are all recorded under its one PG. Without
+  // them (Cheetah-NoVG) another PG's not-yet-migrated objects may still live
+  // on volumes this mapping hands to us — the exact sharing hazard §4.2
+  // describes — so the rebuild must scan every PG's records to avoid
+  // allocating over foreign data.
+  const std::string scan_prefix =
+      options_.no_volume_groups ? std::string("OBMETA_") : ObMetaPrefix(pg);
+  auto rows = co_await db_->Scan(scan_prefix, 0);
+  if (rows.ok()) {
+    std::set<cluster::LvId> reset_this_pass = my_lvs;
+    for (const auto& [key, value] : *rows) {
+      auto meta = ObMeta::Decode(value);
+      if (!meta.ok()) {
+        continue;
+      }
+      if (options_.no_volume_groups && !my_lvs.contains(meta->lvid)) {
+        continue;  // foreign volume; its owning PG tracks it
+      }
+      // An entry may reference a volume outside the current VG (pre-migration
+      // leftovers); give it a fresh allocator once, then accumulate marks.
+      if (!reset_this_pass.contains(meta->lvid)) {
+        allocators_.erase(meta->lvid);
+        reset_this_pass.insert(meta->lvid);
+      }
+      if (alloc::BitmapAllocator* a = AllocatorFor(meta->lvid)) {
+        a->MarkAllocated(meta->extents);
+      }
+    }
+  }
+  // opseq and pending puts from the PG log.
+  uint64_t max_opseq = pg_opseq_[pg];
+  auto logs = co_await db_->Scan(PgLogPrefix(pg), 0);
+  if (logs.ok()) {
+    const Nanos now = rpc_.machine().loop().Now();
+    for (const auto& [key, value] : *logs) {
+      cluster::PgId parsed_pg = 0;
+      uint64_t opseq = 0;
+      if (!ParsePgLogKey(key, &parsed_pg, &opseq)) {
+        continue;
+      }
+      max_opseq = std::max(max_opseq, opseq);
+      auto log = PgLog::Decode(value);
+      if (!log.ok()) {
+        continue;
+      }
+      uint32_t proxy_id = 0;
+      ReqId reqid = 0;
+      if (!ParsePxLogKey(log->pxlogkey, &proxy_id, &reqid)) {
+        continue;
+      }
+      auto ob = co_await db_->Get(ObMetaKey(pg, log->name));
+      if (!ob.ok()) {
+        continue;  // already revoked/cleaned
+      }
+      auto meta = ObMeta::Decode(*ob);
+      if (!meta.ok()) {
+        continue;
+      }
+      if (pending_.contains(reqid)) {
+        continue;
+      }
+      PendingPut p;
+      p.reqid = reqid;
+      p.name = log->name;
+      p.pg = pg;
+      p.opseq = opseq;
+      p.proxy_id = proxy_id;
+      p.meta = std::move(*meta);
+      p.persisted = true;  // it is in the KV, after all
+      p.born = now;
+      pending_[reqid] = p;
+      pending_names_[p.name] = reqid;
+    }
+  }
+  pg_opseq_[pg] = max_opseq;
+}
+
+sim::Task<> MetaServer::MigratePgData(cluster::PgId pg) {
+  // Cheetah-NoVG: objects whose volume fell out of the PG's (hash-derived)
+  // volume set must be copied to a volume the new mapping owns (Fig. 14's
+  // migration traffic).
+  const uint64_t adopted_view = topo_.view;
+  std::vector<cluster::LvId> vg = EffectiveVg(pg);
+  auto in_vg = [&vg](cluster::LvId lv) {
+    return std::find(vg.begin(), vg.end(), lv) != vg.end();
+  };
+  auto rows = co_await db_->Scan(ObMetaPrefix(pg), 0);
+  if (!rows.ok()) {
+    co_return;
+  }
+  for (const auto& [key, value] : *rows) {
+    if (topo_.view != adopted_view || !IsPrimary(pg)) {
+      co_return;  // superseded
+    }
+    cluster::PgId key_pg = 0;
+    std::string name;
+    if (ParseObMetaKey(key, &key_pg, &name) && pending_names_.contains(name)) {
+      continue;  // unresolved put; the cleaner settles it first (§5.3)
+    }
+    auto meta = ObMeta::Decode(value);
+    if (!meta.ok() || in_vg(meta->lvid)) {
+      continue;
+    }
+    const cluster::LogicalVolume* old_lv = topo_.FindLv(meta->lvid);
+    if (old_lv == nullptr) {
+      continue;
+    }
+    const cluster::PhysicalVolume* source = topo_.FindPv(old_lv->replicas.front());
+    if (source == nullptr) {
+      continue;
+    }
+    // Read from the old location.
+    DataReadRequest read;
+    read.device = source->DeviceName();
+    read.disk_index = source->disk_index;
+    read.block_size = old_lv->block_size;
+    read.extents = meta->extents;
+    read.length = meta->size;
+    auto data = co_await rpc_.Call(source->data_server, std::move(read),
+                                   options_.rpc_timeout);
+    if (!data.ok()) {
+      continue;
+    }
+    // Allocate at the new location and write all replicas.
+    auto alloc = AllocateSpace(pg, meta->size);
+    if (!alloc.ok()) {
+      continue;
+    }
+    const cluster::LogicalVolume* new_lv = topo_.FindLv(alloc->first);
+    bool wrote_all = true;
+    for (cluster::PvId pv_id : new_lv->replicas) {
+      const cluster::PhysicalVolume* pv = topo_.FindPv(pv_id);
+      if (pv == nullptr) {
+        wrote_all = false;
+        break;
+      }
+      DataWriteRequest write;
+      write.view = topo_.view;
+      write.device = pv->DeviceName();
+      write.disk_index = pv->disk_index;
+      write.block_size = new_lv->block_size;
+      write.extents = alloc->second;
+      write.data = data->data;
+      write.checksum = meta->checksum;
+      auto w = co_await rpc_.Call(pv->data_server, std::move(write), options_.rpc_timeout);
+      wrote_all &= w.ok();
+    }
+    if (!wrote_all) {
+      if (alloc::BitmapAllocator* a = AllocatorFor(alloc->first)) {
+        a->Free(alloc->second);
+      }
+      continue;
+    }
+    ObMeta updated = *meta;
+    const ObMeta old_meta = *meta;
+    updated.lvid = alloc->first;
+    updated.extents = std::move(alloc->second);
+    std::vector<std::pair<std::string, std::string>> puts;
+    puts.emplace_back(key, updated.Encode());
+    (void)co_await PersistAndReplicate(pg, std::move(puts), {});
+    co_await DiscardData(old_meta);
+    ++stats_.migrated_objects;
+  }
+}
+
+// ---- background loops ----
+
+sim::Task<> MetaServer::HeartbeatLoop() {
+  sim::NodeId last_leader = sim::kInvalidNode;
+  for (;;) {
+    std::vector<sim::NodeId> order = manager_nodes_;
+    if (last_leader != sim::kInvalidNode) {
+      std::swap(order.front(),
+                *std::find(order.begin(), order.end(), last_leader));
+    }
+    for (sim::NodeId mgr : order) {
+      cluster::HeartbeatRequest hb;
+      hb.node = rpc_.id();
+      hb.kind = cluster::ServerKind::kMetaServer;
+      hb.view = topo_.view;
+      auto r = co_await rpc_.Call(mgr, std::move(hb), options_.heartbeat_interval / 2);
+      if (!r.ok() || !r->is_leader) {
+        continue;
+      }
+      last_leader = mgr;
+      lease_until_ = rpc_.machine().loop().Now() + r->lease_duration;
+      if (r->current_view > topo_.view) {
+        cluster::GetTopologyRequest get;
+        get.have_view = topo_.view;
+        auto t = co_await rpc_.Call(mgr, std::move(get), options_.rpc_timeout);
+        if (t.ok() && t->changed) {
+          auto map = cluster::TopologyMap::Deserialize(t->serialized_map);
+          if (map.ok()) {
+            co_await AdoptTopology(std::move(*map));
+          }
+        }
+      }
+      break;
+    }
+    co_await sim::SleepFor(options_.heartbeat_interval);
+  }
+}
+
+sim::Task<> MetaServer::ScrubLoop() {
+  for (;;) {
+    co_await sim::SleepFor(options_.scrub_interval);
+    co_await ScrubNow();
+  }
+}
+
+sim::Task<> MetaServer::ScrubNow() {
+  if (db_ == nullptr || topo_.view == 0) {
+    co_return;
+  }
+  for (cluster::PgId pg = 0; pg < topo_.pg_count; ++pg) {
+    if (IsPrimary(pg) && ready_pgs_.contains(pg)) {
+      co_await ScrubPg(pg);
+    }
+  }
+}
+
+sim::Task<> MetaServer::ScrubPg(cluster::PgId pg) {
+  // Audit: for every settled object of the PG, probe each data replica's
+  // stored checksum against MetaX; repair divergent replicas from a healthy
+  // one. The aggregated metadata makes this a pure meta-server activity — no
+  // data-server-side index to cross-check (§2.2's contrast).
+  const uint64_t scrub_view = topo_.view;
+  auto rows = co_await db_->Scan(ObMetaPrefix(pg), 0);
+  if (!rows.ok()) {
+    co_return;
+  }
+  for (const auto& [key, value] : *rows) {
+    if (topo_.view != scrub_view || !IsPrimary(pg)) {
+      co_return;  // superseded by a view change
+    }
+    cluster::PgId key_pg = 0;
+    std::string name;
+    if (!ParseObMetaKey(key, &key_pg, &name) || pending_names_.contains(name)) {
+      continue;  // unresolved puts are the cleaner's job
+    }
+    auto meta = ObMeta::Decode(value);
+    if (!meta.ok()) {
+      continue;
+    }
+    const cluster::LogicalVolume* lv = topo_.FindLv(meta->lvid);
+    if (lv == nullptr) {
+      continue;
+    }
+    const cluster::PhysicalVolume* good = nullptr;
+    std::vector<const cluster::PhysicalVolume*> bad;
+    for (cluster::PvId pv_id : lv->replicas) {
+      const cluster::PhysicalVolume* pv = topo_.FindPv(pv_id);
+      if (pv == nullptr || !pv->healthy) {
+        continue;
+      }
+      DataProbeRequest probe;
+      probe.device = pv->DeviceName();
+      probe.disk_index = pv->disk_index;
+      probe.block_size = lv->block_size;
+      probe.extents = meta->extents;
+      probe.expected_checksum = meta->checksum;
+      auto r = co_await rpc_.Call(pv->data_server, std::move(probe), options_.rpc_timeout);
+      if (!r.ok()) {
+        continue;  // indeterminate; next scrub retries
+      }
+      if (r->present) {
+        good = pv;
+      } else {
+        bad.push_back(pv);
+      }
+    }
+    ++stats_.scrubbed_objects;
+    if (bad.empty() || good == nullptr) {
+      continue;
+    }
+    // Repair: copy the healthy replica over the divergent ones.
+    DataReadRequest read;
+    read.device = good->DeviceName();
+    read.disk_index = good->disk_index;
+    read.block_size = lv->block_size;
+    read.extents = meta->extents;
+    read.length = meta->size;
+    auto data = co_await rpc_.Call(good->data_server, std::move(read), options_.rpc_timeout);
+    if (!data.ok()) {
+      continue;
+    }
+    for (const cluster::PhysicalVolume* pv : bad) {
+      DataWriteRequest write;
+      write.view = topo_.view;
+      write.device = pv->DeviceName();
+      write.disk_index = pv->disk_index;
+      write.block_size = lv->block_size;
+      write.extents = meta->extents;
+      write.data = data->data;
+      write.checksum = meta->checksum;
+      auto w = co_await rpc_.Call(pv->data_server, std::move(write), options_.rpc_timeout);
+      if (w.ok()) {
+        ++stats_.scrub_repairs;
+      }
+    }
+  }
+}
+
+sim::Task<> MetaServer::CleanerLoop() {
+  for (;;) {
+    co_await sim::SleepFor(options_.log_clean_interval);
+    co_await CleanLogs();
+  }
+}
+
+sim::Task<> MetaServer::CleanLogs() {
+  if (db_ == nullptr || topo_.view == 0) {
+    co_return;
+  }
+  const Nanos now = rpc_.machine().loop().Now();
+  std::vector<ReqId> committed;
+  std::vector<ReqId> stale;
+  for (const auto& [reqid, p] : pending_) {
+    if (!IsPrimary(p.pg) || !ready_pgs_.contains(p.pg)) {
+      continue;
+    }
+    if (p.committed && p.persisted) {
+      committed.push_back(reqid);
+    } else if (now - p.born > options_.pending_put_timeout) {
+      stale.push_back(reqid);
+    }
+  }
+  // §5.3: verify stale uncommitted puts against the data servers.
+  for (ReqId reqid : stale) {
+    (void)co_await VerifyPending(reqid);
+    auto it = pending_.find(reqid);
+    if (it != pending_.end() && it->second.committed) {
+      committed.push_back(reqid);
+    }
+  }
+  if (committed.empty() && dirty_bitmaps_.empty()) {
+    co_return;
+  }
+  // Clean the logs of committed puts in one batch; sync bitmaps (§5.2).
+  std::map<cluster::PgId, std::vector<std::string>> deletes_by_pg;
+  std::set<cluster::LvId> touched;
+  for (ReqId reqid : committed) {
+    auto it = pending_.find(reqid);
+    if (it == pending_.end()) {
+      continue;
+    }
+    const PendingPut& p = it->second;
+    deletes_by_pg[p.pg].push_back(PgLogKey(p.pg, p.opseq));
+    deletes_by_pg[p.pg].push_back(PxLogKey(p.proxy_id, p.reqid));
+    touched.insert(p.meta.lvid);
+    pending_names_.erase(p.name);
+    pending_.erase(it);
+    ++stats_.logs_cleaned;
+  }
+  for (auto& [pg, deletes] : deletes_by_pg) {
+    (void)co_await PersistAndReplicate(pg, {}, std::move(deletes));
+  }
+  for (cluster::LvId lv : dirty_bitmaps_) {
+    touched.insert(lv);
+  }
+  dirty_bitmaps_.clear();
+  for (cluster::LvId lv : touched) {
+    (void)co_await FlushBitmap(lv);
+  }
+}
+
+}  // namespace cheetah::core

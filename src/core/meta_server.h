@@ -1,0 +1,157 @@
+// Cheetah meta server: the rich meta service (§3.1).
+//
+// Maintains MetaX (volume metadata Mv + offset metadata Mo + meta-log Ml) in
+// an embedded KV store, written atomically per put (§5.2, Table 1). The
+// primary of a PG allocates logical volumes from the PG's VG and in-volume
+// blocks with a bitmap allocator, replies to the proxy *before* persistence
+// (the paper's removal of distributed ordering, Fig. 4), replicates MetaX to
+// the backups, and later notifies the proxy when everything is persisted.
+//
+// Recovery duties (§5.3):
+//  - On a view change it pulls newly-responsible PGs from surviving replicas
+//    and rebuilds per-LV allocators and per-PG opseq/pending state by
+//    scanning the PG's key range.
+//  - A cleaner loop deletes the logs of committed puts (syncing the on-disk
+//    bitmaps, §5.2), and verifies stale uncommitted puts against the data
+//    servers — completing them if the data landed, revoking them otherwise.
+//  - Gets on pending objects trigger the same verification synchronously
+//    (§4.3.2).
+#ifndef SRC_CORE_META_SERVER_H_
+#define SRC_CORE_META_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/alloc/bitmap_allocator.h"
+#include "src/cluster/messages.h"
+#include "src/core/messages.h"
+#include "src/core/metax.h"
+#include "src/core/options.h"
+#include "src/kv/db.h"
+#include "src/rpc/node.h"
+
+namespace cheetah::core {
+
+class MetaServer {
+ public:
+  MetaServer(rpc::Node& rpc, CheetahOptions options,
+             std::vector<sim::NodeId> manager_nodes, uint64_t seed);
+
+  // Registers handlers and spawns init/heartbeat/cleaner loops.
+  void Start();
+
+  struct Stats {
+    uint64_t put_allocs = 0;
+    uint64_t gets = 0;
+    uint64_t deletes = 0;
+    uint64_t replications = 0;
+    uint64_t pg_pulls_served = 0;
+    uint64_t recovered_kvs = 0;     // KVs pulled into this server on adoption
+    uint64_t completed_puts = 0;    // §5.3: verified-complete without commit
+    uint64_t revoked_puts = 0;
+    uint64_t logs_cleaned = 0;
+    uint64_t migrated_objects = 0;  // Cheetah-NoVG only
+    uint64_t scrubbed_objects = 0;
+    uint64_t scrub_repairs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const cluster::TopologyMap& topology() const { return topo_; }
+  uint64_t view() const { return topo_.view; }
+  bool HasLease() const;
+  bool IsReady(cluster::PgId pg) const { return ready_pgs_.contains(pg); }
+  size_t pending_puts() const { return pending_.size(); }
+  kv::DB* db() { return db_.get(); }
+
+  // Test hook: runs one cleaner pass immediately.
+  sim::Task<> CleanNow() { return CleanLogs(); }
+  // Audits every primary PG once (also runs periodically if
+  // options.scrub_interval > 0).
+  sim::Task<> ScrubNow();
+
+ private:
+  struct PendingPut {
+    ReqId reqid = 0;
+    std::string name;
+    cluster::PgId pg = 0;
+    uint64_t opseq = 0;
+    uint32_t proxy_id = 0;
+    sim::NodeId proxy_node = sim::kInvalidNode;
+    ObMeta meta;
+    bool committed = false;
+    bool persisted = false;
+    Nanos born = 0;
+  };
+
+  sim::Task<> Init();
+  sim::Task<> HeartbeatLoop();
+  sim::Task<> CleanerLoop();
+  sim::Task<> CleanLogs();
+  sim::Task<> ScrubLoop();
+  sim::Task<> ScrubPg(cluster::PgId pg);
+
+  // Pulls newly-responsible PGs, rebuilds allocators/opseq/pending.
+  sim::Task<> AdoptTopology(cluster::TopologyMap next);
+  sim::Task<> RebuildPgState(cluster::PgId pg);
+  sim::Task<> MigratePgData(cluster::PgId pg);  // Cheetah-NoVG
+
+  // Returns the LVs usable for pg's new allocations (VG, or the NoVG hash
+  // partition of all LVs).
+  std::vector<cluster::LvId> EffectiveVg(cluster::PgId pg) const;
+  Status CheckRequest(uint64_t view, cluster::PgId pg, bool need_primary) const;
+  bool IsPrimary(cluster::PgId pg) const;
+  alloc::BitmapAllocator* AllocatorFor(cluster::LvId lv);
+  Result<std::pair<cluster::LvId, std::vector<alloc::Extent>>> AllocateSpace(
+      cluster::PgId pg, uint64_t bytes);
+
+  // Persists the batch locally and on all backups in parallel; returns OK
+  // only if every replica persisted.
+  sim::Task<Status> PersistAndReplicate(cluster::PgId pg,
+                                        std::vector<std::pair<std::string, std::string>> puts,
+                                        std::vector<std::string> deletes);
+  // Waits briefly for an in-flight put's commit notification to land.
+  sim::Task<> WaitPendingResolved(const std::string& name, Nanos budget);
+  // Verifies a pending put against the data servers; completes or revokes.
+  sim::Task<Status> VerifyPending(ReqId reqid);
+  sim::Task<> RevokePut(PendingPut put);
+  sim::Task<> DiscardData(const ObMeta& meta);
+  sim::Task<Status> FlushBitmap(cluster::LvId lv);
+
+  sim::Task<Result<PutAllocReply>> HandlePutAlloc(sim::NodeId src, PutAllocRequest req);
+  sim::Task<Result<PutCommitAck>> HandleCommit(sim::NodeId src, PutCommitNotify req);
+  sim::Task<Result<GetMetaReply>> HandleGet(sim::NodeId src, GetMetaRequest req);
+  sim::Task<Result<DeleteReply>> HandleDelete(sim::NodeId src, DeleteRequest req);
+  sim::Task<Result<ReplicateMetaXReply>> HandleReplicate(sim::NodeId src,
+                                                         ReplicateMetaXRequest req);
+  sim::Task<Result<PgPullReply>> HandlePgPull(sim::NodeId src, PgPullRequest req);
+  sim::Task<Result<cluster::TopologyPushReply>> HandleTopologyPush(sim::NodeId src,
+                                                                   cluster::TopologyPush req);
+
+  rpc::Node& rpc_;
+  CheetahOptions options_;
+  std::vector<sim::NodeId> manager_nodes_;
+  uint64_t seed_;
+
+  std::unique_ptr<kv::DB> db_;
+  cluster::TopologyMap topo_;
+  Nanos lease_until_ = 0;
+  bool adopting_ = false;
+  std::optional<cluster::TopologyMap> pending_topo_;
+
+  std::set<cluster::PgId> ready_pgs_;
+  std::map<cluster::PgId, uint64_t> pg_opseq_;
+  std::map<cluster::LvId, alloc::BitmapAllocator> allocators_;
+  std::set<cluster::LvId> dirty_bitmaps_;  // flushed by the next clean cycle
+  std::map<ReqId, PendingPut> pending_;
+  std::map<std::string, ReqId> pending_names_;
+
+  Stats stats_;
+};
+
+}  // namespace cheetah::core
+
+#endif  // SRC_CORE_META_SERVER_H_

@@ -1,0 +1,153 @@
+#include "src/core/metax.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/coding.h"
+
+namespace cheetah::core {
+
+namespace {
+std::string Hex8(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%08" PRIx64, v);
+  return buf;
+}
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+}  // namespace
+
+std::string ObMetaKey(cluster::PgId pg, std::string_view name) {
+  return ObMetaPrefix(pg) + std::string(name);
+}
+std::string ObMetaPrefix(cluster::PgId pg) { return "OBMETA_" + Hex8(pg) + "_"; }
+
+std::string PgLogKey(cluster::PgId pg, uint64_t opseq) {
+  return PgLogPrefix(pg) + Hex16(opseq);
+}
+std::string PgLogPrefix(cluster::PgId pg) { return "PGLOG_" + Hex8(pg) + "_"; }
+
+std::string PxLogKey(uint32_t proxy_id, ReqId reqid) {
+  return PxLogPrefix(proxy_id) + Hex16(reqid);
+}
+std::string PxLogPrefix(uint32_t proxy_id) { return "PXLOG_" + Hex8(proxy_id) + "_"; }
+
+bool ParsePgLogKey(std::string_view key, cluster::PgId* pg, uint64_t* opseq) {
+  if (!key.starts_with("PGLOG_") || key.size() != 6 + 8 + 1 + 16) {
+    return false;
+  }
+  *pg = static_cast<cluster::PgId>(std::stoul(std::string(key.substr(6, 8)), nullptr, 16));
+  *opseq = std::stoull(std::string(key.substr(15, 16)), nullptr, 16);
+  return true;
+}
+
+bool ParseObMetaKey(std::string_view key, cluster::PgId* pg, std::string* name) {
+  if (!key.starts_with("OBMETA_") || key.size() < 7 + 8 + 1) {
+    return false;
+  }
+  *pg = static_cast<cluster::PgId>(std::stoul(std::string(key.substr(7, 8)), nullptr, 16));
+  *name = std::string(key.substr(7 + 8 + 1));
+  return true;
+}
+
+bool ParsePxLogKey(std::string_view key, uint32_t* proxy_id, ReqId* reqid) {
+  if (!key.starts_with("PXLOG_") || key.size() != 6 + 8 + 1 + 16) {
+    return false;
+  }
+  *proxy_id = static_cast<uint32_t>(std::stoul(std::string(key.substr(6, 8)), nullptr, 16));
+  *reqid = std::stoull(std::string(key.substr(15, 16)), nullptr, 16);
+  return true;
+}
+
+void EncodeExtents(std::string* out, const std::vector<alloc::Extent>& extents) {
+  PutVarint64(out, extents.size());
+  for (const auto& e : extents) {
+    PutVarint64(out, e.block);
+    PutVarint64(out, e.count);
+  }
+}
+
+bool DecodeExtents(std::string_view* in, std::vector<alloc::Extent>* extents) {
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n)) {
+    return false;
+  }
+  extents->clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    alloc::Extent e;
+    if (!GetVarint64(in, &e.block) || !GetVarint64(in, &e.count)) {
+      return false;
+    }
+    extents->push_back(e);
+  }
+  return true;
+}
+
+uint64_t ExtentBytes(const std::vector<alloc::Extent>& extents, uint32_t block_size) {
+  uint64_t blocks = 0;
+  for (const auto& e : extents) {
+    blocks += e.count;
+  }
+  return blocks * block_size;
+}
+
+std::string ObMeta::Encode() const {
+  std::string out;
+  PutVarint64(&out, lvid);
+  EncodeExtents(&out, extents);
+  PutFixed32(&out, checksum);
+  PutVarint64(&out, size);
+  return out;
+}
+
+Result<ObMeta> ObMeta::Decode(std::string_view data) {
+  ObMeta m;
+  uint64_t lvid = 0;
+  if (!GetVarint64(&data, &lvid) || !DecodeExtents(&data, &m.extents) ||
+      !GetFixed32(&data, &m.checksum) || !GetVarint64(&data, &m.size)) {
+    return Status::Corruption("ObMeta");
+  }
+  m.lvid = static_cast<cluster::LvId>(lvid);
+  return m;
+}
+
+std::string PgLog::Encode() const {
+  std::string out;
+  PutLengthPrefixed(&out, name);
+  PutLengthPrefixed(&out, pxlogkey);
+  return out;
+}
+
+Result<PgLog> PgLog::Decode(std::string_view data) {
+  PgLog log;
+  std::string_view n, p;
+  if (!GetLengthPrefixed(&data, &n) || !GetLengthPrefixed(&data, &p)) {
+    return Status::Corruption("PgLog");
+  }
+  log.name = std::string(n);
+  log.pxlogkey = std::string(p);
+  return log;
+}
+
+std::string PxLog::Encode() const {
+  std::string out;
+  PutLengthPrefixed(&out, name);
+  PutLengthPrefixed(&out, pglogkey);
+  return out;
+}
+
+Result<PxLog> PxLog::Decode(std::string_view data) {
+  PxLog log;
+  std::string_view n, p;
+  if (!GetLengthPrefixed(&data, &n) || !GetLengthPrefixed(&data, &p)) {
+    return Status::Corruption("PxLog");
+  }
+  log.name = std::string(n);
+  log.pglogkey = std::string(p);
+  return log;
+}
+
+}  // namespace cheetah::core

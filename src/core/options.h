@@ -1,0 +1,57 @@
+// Cheetah configuration, including the ablation variants the paper evaluates:
+//   - Cheetah-OW  (Fig. 9): the meta server replies to the proxy only after
+//     MetaX is persisted and replicated, restoring the distributed ordering
+//     that stock Cheetah removes.
+//   - Cheetah-FS  (Fig. 10): data servers pay filesystem overhead per data
+//     operation instead of raw block access.
+//   - Cheetah-NoVG (Fig. 14): no volume groups; a PG's usable volumes are a
+//     function of the CRUSH epoch, so meta-server expansion forces object
+//     data migration.
+#ifndef SRC_CORE_OPTIONS_H_
+#define SRC_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/kv/options.h"
+
+namespace cheetah::core {
+
+struct CheetahOptions {
+  CheetahOptions() = default;
+
+  // --- variants (all false = the full Cheetah design) ---
+  bool ordered_writes = false;   // Cheetah-OW
+  bool fs_backed_data = false;   // Cheetah-FS
+  bool no_volume_groups = false; // Cheetah-NoVG
+
+  // Proxy-side metadata cache for the §7 read optimization.
+  bool enable_read_cache = true;
+
+  // Evaluation-only (Fig. 13): store just the volume metadata KV per put,
+  // like a traditional thin directory, instead of the full MetaX triple.
+  // Recovery guarantees do not hold in this mode.
+  bool thin_directory_mode = false;
+
+  // --- timing ---
+  Nanos rpc_timeout = Millis(500);
+  Nanos heartbeat_interval = Millis(100);
+  Nanos log_clean_interval = Millis(500);
+  // Background scrub: audit object checksums against the data servers and
+  // repair divergent replicas (§2.1 lists auditing among the flexible
+  // management directory-based stores enable). 0 disables.
+  Nanos scrub_interval = 0;
+  Nanos pending_put_timeout = Millis(1500);  // unresolved puts get verified
+  int max_retries = 6;
+
+  // Filesystem overhead charged per data op in Cheetah-FS (journal + inode
+  // update, roughly one extra 4KB metadata write).
+  uint64_t fs_overhead_bytes = 4096;
+
+  // MetaX KV store tuning (Fig. 11 sweeps these).
+  kv::Options metax_kv;
+};
+
+}  // namespace cheetah::core
+
+#endif  // SRC_CORE_OPTIONS_H_

@@ -1,0 +1,325 @@
+#include "src/core/testbed.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace cheetah::core {
+
+namespace {
+constexpr sim::NodeId kManagerBase = 1;
+constexpr sim::NodeId kProxyBase = 300;
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), net_(loop_, config_.net) {
+  // Managers (the paper co-locates them with the clients; node identity is
+  // what matters here).
+  raft::Config raft_config;
+  for (int i = 0; i < config_.managers; ++i) {
+    manager_nodes_.push_back(kManagerBase + i);
+    raft_config.members.push_back(kManagerBase + i);
+  }
+  for (int i = 0; i < config_.managers; ++i) {
+    ManagerBundle b;
+    sim::MachineParams params;
+    params.disk = config_.meta_disk;
+    b.machine = std::make_unique<sim::Machine>(loop_, manager_nodes_[i],
+                                               "manager" + std::to_string(i), params);
+    b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+    b.rpc->Attach();
+    b.manager = std::make_unique<cluster::Manager>(*b.rpc, b.machine->disk(), raft_config,
+                                                   config_.manager, 0xa11ce + i);
+    managers_.push_back(std::move(b));
+  }
+  for (int i = 0; i < config_.meta_machines; ++i) {
+    metas_.push_back(MakeMetaBundle(next_meta_id_++, i));
+  }
+  for (int i = 0; i < config_.data_machines; ++i) {
+    datas_.push_back(MakeDataBundle(next_data_id_++, config_.disks_per_data_machine));
+  }
+  for (int i = 0; i < config_.proxies; ++i) {
+    ProxyBundle b;
+    sim::MachineParams params;
+    params.disk = config_.meta_disk;
+    b.machine = std::make_unique<sim::Machine>(loop_, kProxyBase + i,
+                                               "proxy" + std::to_string(i), params);
+    b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+    b.rpc->Attach();
+    b.proxy = std::make_unique<ClientProxy>(*b.rpc, config_.options, manager_nodes_,
+                                            static_cast<uint32_t>(i + 1));
+    proxies_.push_back(std::move(b));
+  }
+}
+
+Testbed::~Testbed() = default;
+
+Testbed::MetaBundle Testbed::MakeMetaBundle(sim::NodeId id, int seed) {
+  MetaBundle b;
+  sim::MachineParams params;
+  params.num_disks = 1;
+  params.disk = config_.meta_disk;
+  b.machine = std::make_unique<sim::Machine>(loop_, id, "meta" + std::to_string(id), params);
+  b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+  b.rpc->Attach();
+  b.server = std::make_unique<MetaServer>(*b.rpc, config_.options, manager_nodes_,
+                                          0x5eed + seed);
+  return b;
+}
+
+Testbed::DataBundle Testbed::MakeDataBundle(sim::NodeId id, uint32_t disks) {
+  DataBundle b;
+  sim::MachineParams params;
+  params.num_disks = static_cast<int>(disks);
+  params.disk = config_.data_disk;
+  b.machine = std::make_unique<sim::Machine>(loop_, id, "data" + std::to_string(id), params);
+  for (size_t d = 0; d < b.machine->num_disks(); ++d) {
+    b.machine->disk(d).set_store_volume_content(config_.store_volume_content);
+  }
+  b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+  b.rpc->Attach();
+  b.server = std::make_unique<DataServer>(*b.rpc, config_.options, manager_nodes_);
+  return b;
+}
+
+int Testbed::LeaderManager() const {
+  for (size_t i = 0; i < managers_.size(); ++i) {
+    if (managers_[i].machine->alive() && managers_[i].manager->is_raft_leader()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status Testbed::RunManagerAction(std::function<sim::Task<Status>(cluster::Manager&)> action) {
+  for (int round = 0; round < 10; ++round) {
+    int leader = LeaderManager();
+    if (leader < 0) {
+      loop_.RunFor(Millis(200));
+      continue;
+    }
+    auto result = std::make_shared<Result<int>>(Status::Internal("unresolved"));
+    managers_[leader].machine->actor().Spawn(
+        [](cluster::Manager* m, std::function<sim::Task<Status>(cluster::Manager&)> action,
+           std::shared_ptr<Result<int>> out) -> sim::Task<> {
+          Status s = co_await action(*m);
+          *out = s.ok() ? Result<int>(1) : Result<int>(s);
+        }(managers_[leader].manager.get(), action, result));
+    const Nanos deadline = loop_.Now() + Seconds(10);
+    while (!result->ok() && result->status().code() == ErrorCode::kInternal &&
+           loop_.Now() < deadline) {
+      if (!loop_.RunOne()) {
+        break;
+      }
+    }
+    if (result->ok()) {
+      return Status::Ok();
+    }
+    if (!result->status().IsUnavailable()) {
+      return result->status();
+    }
+    loop_.RunFor(Millis(200));  // leader moved; retry
+  }
+  return Status::Unavailable("manager action failed across retries");
+}
+
+Status Testbed::Boot() {
+  for (auto& m : managers_) {
+    m.machine->actor().Spawn([](cluster::Manager* mgr) -> sim::Task<> {
+      Status s = co_await mgr->Start();
+      if (!s.ok()) {
+        LOG_ERROR << "manager start failed: " << s.ToString();
+      }
+    }(m.manager.get()));
+  }
+  // Elect a leader.
+  const Nanos deadline = loop_.Now() + Seconds(10);
+  while (LeaderManager() < 0 && loop_.Now() < deadline) {
+    loop_.RunFor(Millis(50));
+  }
+  if (LeaderManager() < 0) {
+    return Status::Unavailable("no manager leader elected");
+  }
+  // Bootstrap topology.
+  cluster::BootstrapSpec spec;
+  spec.pg_count = config_.pg_count;
+  spec.replication = config_.replication;
+  for (auto& m : metas_) {
+    spec.meta_servers.push_back(m.machine->node_id());
+  }
+  for (auto& d : datas_) {
+    spec.data_servers.push_back(d.machine->node_id());
+  }
+  spec.disks_per_data_server = config_.disks_per_data_machine;
+  spec.pvs_per_disk = config_.pvs_per_disk;
+  spec.lv_capacity_bytes = config_.lv_capacity_bytes;
+  spec.block_size = config_.block_size;
+  RETURN_IF_ERROR(RunManagerAction(
+      [spec](cluster::Manager& m) { return m.Bootstrap(spec); }));
+
+  // Start the data plane.
+  for (auto& m : metas_) {
+    m.server->Start();
+  }
+  for (auto& d : datas_) {
+    d.server->Start();
+  }
+  for (auto& p : proxies_) {
+    p.proxy->Start();
+  }
+  loop_.RunFor(config_.boot_warmup);
+
+  for (auto& m : metas_) {
+    if (!m.server->HasLease() || m.server->view() == 0) {
+      return Status::Unavailable("meta server failed to come up");
+    }
+  }
+  return Status::Ok();
+}
+
+bool Testbed::RunOnProxy(int i, std::function<sim::Task<>(ClientProxy&)> body, Nanos budget) {
+  auto done = std::make_shared<bool>(false);
+  proxies_.at(i).machine->actor().Spawn(
+      [](ClientProxy* proxy, std::function<sim::Task<>(ClientProxy&)> body,
+         std::shared_ptr<bool> done) -> sim::Task<> {
+        co_await body(*proxy);
+        *done = true;
+      }(proxies_.at(i).proxy.get(), std::move(body), done));
+  const Nanos deadline = loop_.Now() + budget;
+  while (!*done && loop_.Now() < deadline) {
+    if (!loop_.RunOne()) {
+      break;
+    }
+  }
+  return *done;
+}
+
+Status Testbed::PutObject(int proxy, std::string name, std::string data) {
+  auto result = std::make_shared<Status>(Status::Internal("unresolved"));
+  const bool done = RunOnProxy(proxy, [name = std::move(name), data = std::move(data),
+                                       result](ClientProxy& p) -> sim::Task<> {
+    *result = co_await p.Put(name, data);
+  });
+  return done ? *result : Status::Timeout("put did not resolve in budget");
+}
+
+Result<std::string> Testbed::GetObject(int proxy, std::string name) {
+  auto result =
+      std::make_shared<Result<std::string>>(Status::Internal("unresolved"));
+  const bool done =
+      RunOnProxy(proxy, [name = std::move(name), result](ClientProxy& p) -> sim::Task<> {
+        *result = co_await p.Get(name);
+      });
+  if (!done) {
+    return Status::Timeout("get did not resolve in budget");
+  }
+  return *result;
+}
+
+Status Testbed::DeleteObject(int proxy, std::string name) {
+  auto result = std::make_shared<Status>(Status::Internal("unresolved"));
+  const bool done =
+      RunOnProxy(proxy, [name = std::move(name), result](ClientProxy& p) -> sim::Task<> {
+        *result = co_await p.Delete(name);
+      });
+  return done ? *result : Status::Timeout("delete did not resolve in budget");
+}
+
+void Testbed::CrashMetaMachine(int i, bool power_loss) {
+  auto& b = metas_.at(i);
+  if (power_loss) {
+    b.machine->PowerFailure();
+  } else {
+    b.machine->CrashProcess();
+  }
+  b.rpc->Detach();
+}
+
+void Testbed::RestartMetaMachine(int i) {
+  auto& b = metas_.at(i);
+  b.machine->Restart();
+  b.rpc->Attach();
+  b.server = std::make_unique<MetaServer>(*b.rpc, config_.options, manager_nodes_,
+                                          0xfeed + i);
+  b.server->Start();
+}
+
+void Testbed::CrashDataMachine(int i, bool power_loss) {
+  auto& b = datas_.at(i);
+  if (power_loss) {
+    b.machine->PowerFailure();
+  } else {
+    b.machine->CrashProcess();
+  }
+  b.rpc->Detach();
+}
+
+void Testbed::RestartDataMachine(int i) {
+  auto& b = datas_.at(i);
+  b.machine->Restart();
+  b.rpc->Attach();
+  b.server = std::make_unique<DataServer>(*b.rpc, config_.options, manager_nodes_);
+  b.server->Start();
+}
+
+void Testbed::CrashProxy(int i) {
+  auto& b = proxies_.at(i);
+  b.machine->CrashProcess();
+  b.rpc->Detach();
+}
+
+void Testbed::CrashManager(int i, bool power_loss) {
+  auto& b = managers_.at(i);
+  if (power_loss) {
+    b.machine->PowerFailure();
+  } else {
+    b.machine->CrashProcess();
+  }
+  b.rpc->Detach();
+}
+
+void Testbed::RestartManager(int i) {
+  auto& b = managers_.at(i);
+  b.machine->Restart();
+  b.rpc->Attach();
+  raft::Config raft_config;
+  raft_config.members = manager_nodes_;
+  b.manager = std::make_unique<cluster::Manager>(*b.rpc, b.machine->disk(), raft_config,
+                                                 config_.manager, 0xbeef + i);
+  b.machine->actor().Spawn([](cluster::Manager* mgr) -> sim::Task<> {
+    Status s = co_await mgr->Start();
+    if (!s.ok()) {
+      LOG_ERROR << "manager restart failed: " << s.ToString();
+    }
+  }(b.manager.get()));
+}
+
+Result<int> Testbed::AddMetaMachine(bool settle) {
+  metas_.push_back(MakeMetaBundle(next_meta_id_, static_cast<int>(metas_.size())));
+  const sim::NodeId id = next_meta_id_++;
+  metas_.back().server->Start();
+  Status s = RunManagerAction(
+      [id](cluster::Manager& m) { return m.AddMetaServer(id); });
+  if (!s.ok()) {
+    return s;
+  }
+  if (settle) {
+    loop_.RunFor(Seconds(1));  // let adoption/pulls settle
+  }
+  return static_cast<int>(metas_.size() - 1);
+}
+
+Result<int> Testbed::AddDataMachine(uint32_t disks, uint32_t pvs_per_disk) {
+  datas_.push_back(MakeDataBundle(next_data_id_, disks));
+  const sim::NodeId id = next_data_id_++;
+  datas_.back().server->Start();
+  Status s = RunManagerAction([id, disks, pvs_per_disk](cluster::Manager& m) {
+    return m.AddDataServer(id, disks, pvs_per_disk);
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  loop_.RunFor(Seconds(1));
+  return static_cast<int>(datas_.size() - 1);
+}
+
+}  // namespace cheetah::core

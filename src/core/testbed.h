@@ -1,0 +1,153 @@
+// Testbed: wires a complete Cheetah cluster inside one simulator — manager
+// machines running Raft, meta machines, data machines, and client proxies —
+// mirroring the paper's fifteen-machine setup at configurable scale. Used by
+// the integration tests, every benchmark, and the examples.
+#ifndef SRC_CORE_TESTBED_H_
+#define SRC_CORE_TESTBED_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/manager.h"
+#include "src/core/client_proxy.h"
+#include "src/core/data_server.h"
+#include "src/core/meta_server.h"
+#include "src/core/options.h"
+#include "src/rpc/node.h"
+
+namespace cheetah::core {
+
+struct TestbedConfig {
+  TestbedConfig() = default;
+
+  int managers = 3;
+  int meta_machines = 3;
+  int data_machines = 9;
+  int proxies = 3;
+
+  uint32_t pg_count = 64;
+  uint32_t replication = 3;
+  uint32_t disks_per_data_machine = 4;
+  uint32_t pvs_per_disk = 6;  // must yield >= pg_count logical volumes
+  uint64_t lv_capacity_bytes = GiB(4);
+  uint32_t block_size = 4096;
+
+  CheetahOptions options;
+  sim::NetParams net;
+  sim::DiskParams data_disk;
+  sim::DiskParams meta_disk;
+  cluster::ManagerConfig manager;
+
+  // Store object payloads byte-for-byte (tests) or metadata-only (benches).
+  bool store_volume_content = true;
+
+  // Virtual time Boot() runs to let elections/bootstrap/leases settle.
+  Nanos boot_warmup = Seconds(3);
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // Elects a manager leader, bootstraps the topology, starts all servers,
+  // and runs until meta servers hold leases and PGs are ready.
+  Status Boot();
+
+  sim::EventLoop& loop() { return loop_; }
+  sim::Network& network() { return net_; }
+
+  int num_proxies() const { return static_cast<int>(proxies_.size()); }
+  int num_meta() const { return static_cast<int>(metas_.size()); }
+  int num_data() const { return static_cast<int>(datas_.size()); }
+  ClientProxy& proxy(int i) { return *proxies_.at(i).proxy; }
+  MetaServer& meta(int i) { return *metas_.at(i).server; }
+  DataServer& data(int i) { return *datas_.at(i).server; }
+  cluster::Manager& manager(int i) { return *managers_.at(i).manager; }
+  sim::Machine& meta_machine(int i) { return *metas_.at(i).machine; }
+  sim::Machine& data_machine(int i) { return *datas_.at(i).machine; }
+  sim::Machine& proxy_machine(int i) { return *proxies_.at(i).machine; }
+  rpc::Node& proxy_rpc(int i) { return *proxies_.at(i).rpc; }  // protocol tests
+
+  // Returns the current Raft-leader manager, or -1.
+  int LeaderManager() const;
+
+  // ---- blocking convenience operations (drive the loop until done) ----
+  Status PutObject(int proxy, std::string name, std::string data);
+  Result<std::string> GetObject(int proxy, std::string name);
+  Status DeleteObject(int proxy, std::string name);
+
+  // Spawns `task` on proxy i's actor and runs the loop until it resolves or
+  // `budget` virtual time elapses. Returns false on budget exhaustion.
+  bool RunOnProxy(int i, std::function<sim::Task<>(ClientProxy&)> body,
+                  Nanos budget = Seconds(30));
+
+  // Runs the loop for `d` of virtual time (background activity continues).
+  void RunFor(Nanos d) { loop_.RunFor(d); }
+
+  // ---- failure injection ----
+  void CrashMetaMachine(int i, bool power_loss);
+  void RestartMetaMachine(int i);
+  void CrashDataMachine(int i, bool power_loss);
+  void RestartDataMachine(int i);
+  void CrashProxy(int i);
+  void CrashManager(int i, bool power_loss);
+  void RestartManager(int i);
+
+  // ---- expansion (§6.3 / Fig. 14) ----
+  // Adds a fresh meta machine+server and maps it via CRUSH. Returns its
+  // index. With settle=false the call returns as soon as the view change
+  // commits, so callers can measure while adoption/migration is in flight.
+  Result<int> AddMetaMachine(bool settle = true);
+  Result<int> AddDataMachine(uint32_t disks, uint32_t pvs_per_disk);
+
+  const TestbedConfig& config() const { return config_; }
+  std::vector<sim::NodeId> manager_nodes() const { return manager_nodes_; }
+
+ private:
+  struct ManagerBundle {
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<rpc::Node> rpc;
+    std::unique_ptr<cluster::Manager> manager;
+  };
+  struct MetaBundle {
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<rpc::Node> rpc;
+    std::unique_ptr<MetaServer> server;
+  };
+  struct DataBundle {
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<rpc::Node> rpc;
+    std::unique_ptr<DataServer> server;
+  };
+  struct ProxyBundle {
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<rpc::Node> rpc;
+    std::unique_ptr<ClientProxy> proxy;
+  };
+
+  MetaBundle MakeMetaBundle(sim::NodeId id, int seed);
+  DataBundle MakeDataBundle(sim::NodeId id, uint32_t disks);
+
+  // Runs a leader-only manager action, retrying across leader changes.
+  Status RunManagerAction(std::function<sim::Task<Status>(cluster::Manager&)> action);
+
+  TestbedConfig config_;
+  sim::EventLoop loop_;
+  sim::Network net_;
+  std::vector<sim::NodeId> manager_nodes_;
+  std::vector<ManagerBundle> managers_;
+  std::vector<MetaBundle> metas_;
+  std::vector<DataBundle> datas_;
+  std::vector<ProxyBundle> proxies_;
+  sim::NodeId next_meta_id_ = 100;
+  sim::NodeId next_data_id_ = 200;
+};
+
+}  // namespace cheetah::core
+
+#endif  // SRC_CORE_TESTBED_H_

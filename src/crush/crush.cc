@@ -1,0 +1,67 @@
+#include "src/crush/crush.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cheetah::crush {
+
+void Map::AddItem(ItemId id, double weight) {
+  assert(!HasItem(id));
+  items_.push_back(Item{id, weight});
+  ++epoch_;
+}
+
+void Map::RemoveItem(ItemId id) {
+  items_.erase(std::remove_if(items_.begin(), items_.end(),
+                              [id](const Item& it) { return it.id == id; }),
+               items_.end());
+  ++epoch_;
+}
+
+bool Map::HasItem(ItemId id) const {
+  return std::any_of(items_.begin(), items_.end(),
+                     [id](const Item& it) { return it.id == id; });
+}
+
+double Map::Straw2Score(ItemId item, double weight, uint32_t pg, uint32_t trial) const {
+  // straw2: score = ln(u) / weight with u uniform in (0,1] derived from a
+  // stable hash of (pg, item, trial); the item with the max score wins.
+  const uint32_t h = CrushHash32_3(pg, item, trial);
+  const double u = (static_cast<double>(h & 0xffff) + 1.0) / 65536.0;
+  return std::log(u) / weight;
+}
+
+std::vector<ItemId> Map::Select(uint32_t pg, uint32_t n) const {
+  // Rendezvous/straw2 "firstn": every item draws one weighted score for this
+  // PG and the n best win, primary first. Adding an item perturbs each PG's
+  // list only where the newcomer's score lands, which yields the ~1/n minimal
+  // remap that §4.2's hybrid mapping depends on.
+  std::vector<std::pair<double, ItemId>> scored;
+  scored.reserve(items_.size());
+  for (const Item& item : items_) {
+    scored.emplace_back(Straw2Score(item.id, item.weight, pg, /*trial=*/0), item.id);
+  }
+  const uint32_t want = std::min<uint32_t>(n, static_cast<uint32_t>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + want, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) {
+                        return a.first > b.first;
+                      }
+                      return a.second < b.second;
+                    });
+  std::vector<ItemId> out;
+  out.reserve(want);
+  for (uint32_t i = 0; i < want; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+ItemId Map::Primary(uint32_t pg) const {
+  auto sel = Select(pg, 1);
+  assert(!sel.empty() && "Primary() on an empty CRUSH map");
+  return sel[0];
+}
+
+}  // namespace cheetah::crush

@@ -1,0 +1,64 @@
+// CRUSH: controlled, scalable, decentralized placement (Weil et al., SC'06).
+//
+// We model the cluster as a two-level tree (root -> hosts -> devices is
+// collapsed to root -> items, where an item is a meta machine or an OSD) and
+// use straw2 selection, which has the property the paper's hybrid mapping
+// relies on: adding or removing an item only remaps the minimal fraction of
+// placement groups (~1/n), and the mapping is a pure function of (map,
+// pg, replica) so every client computes it identically.
+#ifndef SRC_CRUSH_CRUSH_H_
+#define SRC_CRUSH_CRUSH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace cheetah::crush {
+
+using ItemId = uint32_t;
+
+struct Item {
+  Item() = default;
+  Item(ItemId id, double weight) : id(id), weight(weight) {}
+  ItemId id = 0;
+  double weight = 1.0;
+};
+
+class Map {
+ public:
+  Map() = default;
+
+  void AddItem(ItemId id, double weight = 1.0);
+  void RemoveItem(ItemId id);
+  bool HasItem(ItemId id) const;
+  size_t size() const { return items_.size(); }
+  const std::vector<Item>& items() const { return items_; }
+
+  // Epoch increments on every mutation; used by callers to invalidate caches.
+  uint64_t epoch() const { return epoch_; }
+
+  // Maps an object name to its placement group.
+  static uint32_t NameToPg(std::string_view name, uint32_t pg_count) {
+    return static_cast<uint32_t>(Fnv1a64(name) % pg_count);
+  }
+
+  // Selects `n` distinct items for `pg` (straw2, replica rank r as the
+  // hash salt). Returns fewer than n if the map has fewer items.
+  std::vector<ItemId> Select(uint32_t pg, uint32_t n) const;
+
+  // First selected item = the PG's primary.
+  ItemId Primary(uint32_t pg) const;
+
+ private:
+  double Straw2Score(ItemId item, double weight, uint32_t pg, uint32_t trial) const;
+
+  std::vector<Item> items_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace cheetah::crush
+
+#endif  // SRC_CRUSH_CRUSH_H_

@@ -1,0 +1,274 @@
+#include "src/ec/reed_solomon.h"
+
+#include <array>
+#include <cassert>
+
+namespace cheetah::ec {
+
+namespace {
+
+// Log/antilog tables for GF(2^8) with polynomial 0x11d, generator 2.
+struct Tables {
+  std::array<uint8_t, 256> log{};
+  std::array<uint8_t, 512> exp{};
+
+  Tables() {
+    uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= 0x11d;
+      }
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[i] = exp[i - 255];
+    }
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint8_t GaloisField::Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return T().exp[T().log[a] + T().log[b]];
+}
+
+uint8_t GaloisField::Div(uint8_t a, uint8_t b) {
+  assert(b != 0);
+  if (a == 0) {
+    return 0;
+  }
+  return T().exp[(T().log[a] + 255 - T().log[b]) % 255];
+}
+
+uint8_t GaloisField::Inv(uint8_t a) {
+  assert(a != 0);
+  return T().exp[255 - T().log[a]];
+}
+
+uint8_t GaloisField::Exp(int power) { return T().exp[power % 255]; }
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  assert(k >= 1 && m >= 0 && k + m <= 255);
+  encode_ = BuildEncodeMatrix();
+}
+
+ReedSolomon::Matrix ReedSolomon::Identity(int n) {
+  Matrix out(n, std::vector<uint8_t>(n, 0));
+  for (int i = 0; i < n; ++i) {
+    out[i][i] = 1;
+  }
+  return out;
+}
+
+ReedSolomon::Matrix ReedSolomon::BuildEncodeMatrix() const {
+  // Vandermonde (k+m) x k with distinct evaluation points, made systematic by
+  // right-multiplying with the inverse of its top k x k block:
+  //   encode = V * inv(V_top)  =>  top block becomes the identity, and any k
+  // rows of `encode` remain invertible (the Vandermonde property survives
+  // right-multiplication by an invertible matrix).
+  const int rows = k_ + m_;
+  Matrix v(rows, std::vector<uint8_t>(k_, 0));
+  for (int r = 0; r < rows; ++r) {
+    uint8_t x = 1;
+    for (int c = 0; c < k_; ++c) {
+      v[r][c] = x;
+      x = GaloisField::Mul(x, GaloisField::Exp(r));
+    }
+  }
+  Matrix top(k_, std::vector<uint8_t>(k_));
+  for (int r = 0; r < k_; ++r) {
+    top[r] = v[r];
+  }
+  auto top_inv = Invert(std::move(top));
+  assert(top_inv.ok() && "Vandermonde top block must be invertible");
+  Matrix out(rows, std::vector<uint8_t>(k_, 0));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < k_; ++c) {
+      uint8_t sum = 0;
+      for (int i = 0; i < k_; ++i) {
+        sum = GaloisField::Add(sum, GaloisField::Mul(v[r][i], (*top_inv)[i][c]));
+      }
+      out[r][c] = sum;
+    }
+  }
+  return out;
+}
+
+Result<ReedSolomon::Matrix> ReedSolomon::Invert(Matrix m) {
+  const int n = static_cast<int>(m.size());
+  Matrix inv = Identity(n);
+  for (int col = 0; col < n; ++col) {
+    if (m[col][col] == 0) {
+      bool swapped = false;
+      for (int r = col + 1; r < n; ++r) {
+        if (m[r][col] != 0) {
+          std::swap(m[col], m[r]);
+          std::swap(inv[col], inv[r]);
+          swapped = true;
+          break;
+        }
+      }
+      if (!swapped) {
+        return Status::InvalidArgument("singular decode matrix");
+      }
+    }
+    const uint8_t pivot_inv = GaloisField::Inv(m[col][col]);
+    for (int c = 0; c < n; ++c) {
+      m[col][c] = GaloisField::Mul(m[col][c], pivot_inv);
+      inv[col][c] = GaloisField::Mul(inv[col][c], pivot_inv);
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == col || m[r][col] == 0) {
+        continue;
+      }
+      const uint8_t factor = m[r][col];
+      for (int c = 0; c < n; ++c) {
+        m[r][c] = GaloisField::Add(m[r][c], GaloisField::Mul(factor, m[col][c]));
+        inv[r][c] = GaloisField::Add(inv[r][c], GaloisField::Mul(factor, inv[col][c]));
+      }
+    }
+  }
+  return inv;
+}
+
+std::vector<std::string> ReedSolomon::Encode(std::string_view data) const {
+  const size_t shard_size = (data.size() + k_ - 1) / std::max(k_, 1);
+  std::vector<std::string> shards(total_shards(), std::string(shard_size, '\0'));
+  for (int i = 0; i < k_; ++i) {
+    const size_t offset = static_cast<size_t>(i) * shard_size;
+    if (offset < data.size()) {
+      const size_t len = std::min(shard_size, data.size() - offset);
+      shards[i].replace(0, len, data.substr(offset, len));
+    }
+  }
+  for (int p = 0; p < m_; ++p) {
+    const auto& row = encode_[k_ + p];
+    std::string& parity = shards[k_ + p];
+    for (int d = 0; d < k_; ++d) {
+      const uint8_t coef = row[d];
+      if (coef == 0) {
+        continue;
+      }
+      const std::string& src = shards[d];
+      for (size_t b = 0; b < shard_size; ++b) {
+        parity[b] = static_cast<char>(
+            GaloisField::Add(static_cast<uint8_t>(parity[b]),
+                             GaloisField::Mul(coef, static_cast<uint8_t>(src[b]))));
+      }
+    }
+  }
+  return shards;
+}
+
+Result<std::vector<std::string>> ReedSolomon::Reconstruct(
+    const std::vector<std::optional<std::string>>& shards) const {
+  if (static_cast<int>(shards.size()) != total_shards()) {
+    return Status::InvalidArgument("wrong shard count");
+  }
+  // Collect k present shards and the encode rows that produced them.
+  std::vector<int> present;
+  size_t shard_size = 0;
+  for (int i = 0; i < total_shards() && static_cast<int>(present.size()) < k_; ++i) {
+    if (shards[i].has_value()) {
+      present.push_back(i);
+      shard_size = shards[i]->size();
+    }
+  }
+  if (static_cast<int>(present.size()) < k_) {
+    return Status::ResourceExhausted("fewer than k shards survive");
+  }
+  Matrix sub(k_, std::vector<uint8_t>(k_));
+  for (int r = 0; r < k_; ++r) {
+    sub[r] = encode_[present[r]];
+  }
+  auto inverse = Invert(std::move(sub));
+  if (!inverse.ok()) {
+    return inverse.status();
+  }
+  // data[d] = sum_r inverse[d][r] * shard[present[r]]
+  std::vector<std::string> out(total_shards(), std::string(shard_size, '\0'));
+  for (int d = 0; d < k_; ++d) {
+    std::string& dst = out[d];
+    for (int r = 0; r < k_; ++r) {
+      const uint8_t coef = (*inverse)[d][r];
+      if (coef == 0) {
+        continue;
+      }
+      const std::string& src = *shards[present[r]];
+      for (size_t b = 0; b < shard_size; ++b) {
+        dst[b] = static_cast<char>(
+            GaloisField::Add(static_cast<uint8_t>(dst[b]),
+                             GaloisField::Mul(coef, static_cast<uint8_t>(src[b]))));
+      }
+    }
+  }
+  // Re-derive parity from the reconstructed data rows.
+  for (int p = 0; p < m_; ++p) {
+    const auto& row = encode_[k_ + p];
+    std::string& parity = out[k_ + p];
+    for (int d = 0; d < k_; ++d) {
+      const uint8_t coef = row[d];
+      if (coef == 0) {
+        continue;
+      }
+      const std::string& src = out[d];
+      for (size_t b = 0; b < shard_size; ++b) {
+        parity[b] = static_cast<char>(
+            GaloisField::Add(static_cast<uint8_t>(parity[b]),
+                             GaloisField::Mul(coef, static_cast<uint8_t>(src[b]))));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::string> ReedSolomon::Decode(
+    const std::vector<std::optional<std::string>>& shards, size_t original_size) const {
+  auto full = Reconstruct(shards);
+  if (!full.ok()) {
+    return full.status();
+  }
+  std::string out;
+  out.reserve(original_size);
+  for (int d = 0; d < k_ && out.size() < original_size; ++d) {
+    const size_t want = std::min(original_size - out.size(), (*full)[d].size());
+    out.append((*full)[d], 0, want);
+  }
+  if (out.size() != original_size) {
+    return Status::Corruption("shards shorter than original size");
+  }
+  return out;
+}
+
+bool ReedSolomon::Verify(const std::vector<std::string>& shards) const {
+  if (static_cast<int>(shards.size()) != total_shards()) {
+    return false;
+  }
+  const size_t shard_size = shards.empty() ? 0 : shards[0].size();
+  for (int p = 0; p < m_; ++p) {
+    const auto& row = encode_[k_ + p];
+    for (size_t b = 0; b < shard_size; ++b) {
+      uint8_t sum = 0;
+      for (int d = 0; d < k_; ++d) {
+        sum = GaloisField::Add(
+            sum, GaloisField::Mul(row[d], static_cast<uint8_t>(shards[d][b])));
+      }
+      if (sum != static_cast<uint8_t>(shards[k_ + p][b])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cheetah::ec

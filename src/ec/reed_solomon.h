@@ -1,0 +1,71 @@
+// Reed-Solomon erasure coding over GF(2^8) — the paper's stated future-work
+// integration ("we will integrate Cheetah with erasure coding [32] for high
+// efficiency", §8). Systematic code: k data shards + m parity shards; any k
+// of the k+m shards reconstruct the object.
+//
+// The encoding matrix is a Vandermonde-derived systematic matrix (the top
+// k x k block is the identity), so data shards are plain slices of the
+// object and encode cost is only the m parity rows.
+#ifndef SRC_EC_REED_SOLOMON_H_
+#define SRC_EC_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cheetah::ec {
+
+// GF(2^8) arithmetic with the AES polynomial 0x11d.
+class GaloisField {
+ public:
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Mul(uint8_t a, uint8_t b);
+  static uint8_t Div(uint8_t a, uint8_t b);  // b != 0
+  static uint8_t Inv(uint8_t a);             // a != 0
+  static uint8_t Exp(int power);             // generator^power
+};
+
+class ReedSolomon {
+ public:
+  // k data shards, m parity shards. Requires 1 <= k, 0 <= m, k + m <= 255.
+  ReedSolomon(int k, int m);
+
+  int data_shards() const { return k_; }
+  int parity_shards() const { return m_; }
+  int total_shards() const { return k_ + m_; }
+
+  // Splits `data` into k equal shards (zero-padded) and appends m parity
+  // shards. shards[i].size() == ceil(data.size() / k) for all i.
+  std::vector<std::string> Encode(std::string_view data) const;
+
+  // Reconstructs the original data (of `original_size` bytes) from any k
+  // present shards. `shards[i] == nullopt` marks shard i as lost.
+  Result<std::string> Decode(const std::vector<std::optional<std::string>>& shards,
+                             size_t original_size) const;
+
+  // Recomputes the full shard set (e.g. to rebuild lost shards in place).
+  Result<std::vector<std::string>> Reconstruct(
+      const std::vector<std::optional<std::string>>& shards) const;
+
+  // Verifies that the parity shards are consistent with the data shards.
+  bool Verify(const std::vector<std::string>& shards) const;
+
+ private:
+  // rows x cols matrix in row-major order.
+  using Matrix = std::vector<std::vector<uint8_t>>;
+
+  static Matrix Identity(int n);
+  static Result<Matrix> Invert(Matrix m);
+  Matrix BuildEncodeMatrix() const;
+
+  int k_;
+  int m_;
+  Matrix encode_;  // (k+m) x k; top k rows are the identity
+};
+
+}  // namespace cheetah::ec
+
+#endif  // SRC_EC_REED_SOLOMON_H_

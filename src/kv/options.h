@@ -1,0 +1,29 @@
+// Tuning knobs for the embedded LSM KV store. The defaults mirror the
+// RocksDB configuration the paper uses ("buffer_size = 64MB,
+// compaction_trigger = 4"); Fig. 11 sweeps these two knobs.
+#ifndef SRC_KV_OPTIONS_H_
+#define SRC_KV_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/units.h"
+
+namespace cheetah::kv {
+
+struct Options {
+  Options() = default;
+
+  // Flush the memtable to an SSTable once it holds this many bytes.
+  uint64_t memtable_bytes = MiB(64);
+  // Merge level-0 tables into level-1 once this many accumulate.
+  int l0_compaction_trigger = 4;
+  // fsync the write-ahead log on every write (durability on power loss).
+  bool sync_wal = true;
+  // File-name prefix, so multiple DBs can share one sim::Storage.
+  std::string name = "db";
+};
+
+}  // namespace cheetah::kv
+
+#endif  // SRC_KV_OPTIONS_H_

@@ -1,0 +1,102 @@
+#include "src/kv/sstable.h"
+
+#include <algorithm>
+
+#include "src/common/coding.h"
+#include "src/common/crc32c.h"
+
+namespace cheetah::kv {
+
+Table::Table(std::string file_name, std::vector<Entry> entries)
+    : file_name_(std::move(file_name)), entries_(std::move(entries)) {
+  if (!entries_.empty()) {
+    min_key_ = entries_.front().key;
+    max_key_ = entries_.back().key;
+  }
+  for (const auto& e : entries_) {
+    data_bytes_ += e.key.size() + (e.value ? e.value->size() : 0);
+  }
+}
+
+const Table::Entry* Table::Find(std::string_view key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::string_view k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+std::vector<const Table::Entry*> Table::PrefixRange(std::string_view prefix) const {
+  std::vector<const Entry*> out;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const Entry& e, std::string_view k) { return e.key < k; });
+  for (; it != entries_.end() && std::string_view(it->key).starts_with(prefix); ++it) {
+    out.push_back(&*it);
+  }
+  return out;
+}
+
+std::string Table::Encode() const {
+  std::string body;
+  PutVarint64(&body, entries_.size());
+  for (const auto& e : entries_) {
+    body.push_back(e.value ? 'P' : 'D');
+    PutLengthPrefixed(&body, e.key);
+    if (e.value) {
+      PutLengthPrefixed(&body, *e.value);
+    }
+  }
+  std::string out;
+  PutFixed32(&out, Crc32c(body));
+  PutFixed64(&out, body.size());
+  out += body;
+  return out;
+}
+
+Result<std::vector<Table::Entry>> Table::DecodeEntries(std::string_view file) {
+  std::string_view input = file;
+  uint32_t crc = 0;
+  uint64_t len = 0;
+  if (!GetFixed32(&input, &crc) || !GetFixed64(&input, &len) || input.size() < len) {
+    return Status::Corruption("sstable header");
+  }
+  std::string_view body = input.substr(0, len);
+  if (Crc32c(body) != crc) {
+    return Status::Corruption("sstable checksum mismatch");
+  }
+  uint64_t count = 0;
+  if (!GetVarint64(&body, &count)) {
+    return Status::Corruption("sstable count");
+  }
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (body.empty()) {
+      return Status::Corruption("sstable truncated");
+    }
+    const char tag = body.front();
+    body.remove_prefix(1);
+    std::string_view key;
+    if (!GetLengthPrefixed(&body, &key)) {
+      return Status::Corruption("sstable key");
+    }
+    Entry e;
+    e.key = std::string(key);
+    if (tag == 'P') {
+      std::string_view value;
+      if (!GetLengthPrefixed(&body, &value)) {
+        return Status::Corruption("sstable value");
+      }
+      e.value = std::string(value);
+    } else if (tag != 'D') {
+      return Status::Corruption("sstable tag");
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace cheetah::kv

@@ -1,0 +1,64 @@
+// Sorted string table: the immutable on-disk unit of the LSM tree.
+//
+// The file payload is a sorted run of (tag, key[, value]) entries with a
+// CRC-protected footer. A parsed copy of the entries is kept in memory for
+// lookup logic; disk reads are *charged* to the simulated device when the
+// table is consulted, which is what the experiments measure.
+#ifndef SRC_KV_SSTABLE_H_
+#define SRC_KV_SSTABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cheetah::kv {
+
+class Table {
+ public:
+  struct Entry {
+    std::string key;
+    std::optional<std::string> value;  // nullopt = tombstone
+  };
+
+  // `entries` must be sorted by key, duplicates resolved.
+  Table(std::string file_name, std::vector<Entry> entries);
+
+  const std::string& file_name() const { return file_name_; }
+  size_t entry_count() const { return entries_.size(); }
+  uint64_t data_bytes() const { return data_bytes_; }
+  bool empty() const { return entries_.empty(); }
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+
+  bool MayContain(std::string_view key) const {
+    return !entries_.empty() && key >= min_key_ && key <= max_key_;
+  }
+
+  // Returns the entry (possibly a tombstone) or nullptr if absent.
+  const Entry* Find(std::string_view key) const;
+
+  // All entries whose key starts with `prefix`, in order.
+  std::vector<const Entry*> PrefixRange(std::string_view prefix) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // File (de)serialization.
+  std::string Encode() const;
+  static Result<std::vector<Entry>> DecodeEntries(std::string_view file);
+
+ private:
+  std::string file_name_;
+  std::vector<Entry> entries_;
+  std::string min_key_;
+  std::string max_key_;
+  uint64_t data_bytes_ = 0;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+}  // namespace cheetah::kv
+
+#endif  // SRC_KV_SSTABLE_H_

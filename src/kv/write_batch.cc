@@ -1,0 +1,59 @@
+#include "src/kv/write_batch.h"
+
+#include "src/common/coding.h"
+
+namespace cheetah::kv {
+
+uint64_t WriteBatch::ByteSize() const {
+  uint64_t total = 0;
+  for (const auto& op : ops_) {
+    total += op.key.size() + (op.value ? op.value->size() : 0) + 24;
+  }
+  return total;
+}
+
+std::string WriteBatch::Encode() const {
+  std::string out;
+  PutVarint64(&out, ops_.size());
+  for (const auto& op : ops_) {
+    out.push_back(op.value ? 'P' : 'D');
+    PutLengthPrefixed(&out, op.key);
+    if (op.value) {
+      PutLengthPrefixed(&out, *op.value);
+    }
+  }
+  return out;
+}
+
+Result<WriteBatch> WriteBatch::Decode(std::string_view payload) {
+  WriteBatch batch;
+  uint64_t count = 0;
+  if (!GetVarint64(&payload, &count)) {
+    return Status::Corruption("batch header");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    if (payload.empty()) {
+      return Status::Corruption("batch truncated");
+    }
+    const char tag = payload.front();
+    payload.remove_prefix(1);
+    std::string_view key;
+    if (!GetLengthPrefixed(&payload, &key)) {
+      return Status::Corruption("batch key");
+    }
+    if (tag == 'P') {
+      std::string_view value;
+      if (!GetLengthPrefixed(&payload, &value)) {
+        return Status::Corruption("batch value");
+      }
+      batch.Put(std::string(key), std::string(value));
+    } else if (tag == 'D') {
+      batch.Delete(std::string(key));
+    } else {
+      return Status::Corruption("batch tag");
+    }
+  }
+  return batch;
+}
+
+}  // namespace cheetah::kv

@@ -1,0 +1,48 @@
+// An atomic group of puts/deletes. The batch is the unit of WAL logging and
+// of crash atomicity: after recovery either every operation of a batch is
+// visible or none is. Cheetah relies on this to write the three MetaX KVs of
+// a put atomically (Table 1 of the paper).
+#ifndef SRC_KV_WRITE_BATCH_H_
+#define SRC_KV_WRITE_BATCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cheetah::kv {
+
+class WriteBatch {
+ public:
+  WriteBatch() = default;
+
+  void Put(std::string key, std::string value) {
+    ops_.push_back(Op{std::move(key), std::move(value)});
+  }
+  void Delete(std::string key) { ops_.push_back(Op{std::move(key), std::nullopt}); }
+
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+  void Clear() { ops_.clear(); }
+
+  // Approximate bytes this batch adds to the memtable.
+  uint64_t ByteSize() const;
+
+  struct Op {
+    std::string key;
+    std::optional<std::string> value;  // nullopt = tombstone
+  };
+  const std::vector<Op>& ops() const { return ops_; }
+
+  // WAL record payload (without the record header).
+  std::string Encode() const;
+  static Result<WriteBatch> Decode(std::string_view payload);
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace cheetah::kv
+
+#endif  // SRC_KV_WRITE_BATCH_H_

@@ -1,0 +1,194 @@
+// Typed asynchronous RPC between simulated nodes.
+//
+// A request type declares its reply type and wire size:
+//
+//   struct PingRequest {
+//     using Response = PingReply;
+//     uint64_t nonce;
+//     size_t wire_size() const { return 16; }
+//   };
+//
+// Servers register coroutine handlers with Serve<Req>(); clients issue
+// Call<Req>() with a timeout. Crashes surface as timeouts: messages to dead
+// or partitioned nodes are dropped by the network, and a server that dies
+// mid-handler simply never replies.
+#ifndef SRC_RPC_NODE_H_
+#define SRC_RPC_NODE_H_
+
+#include <any>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/sim/machine.h"
+#include "src/sim/network.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace cheetah::rpc {
+
+// Message types must NOT be aggregates: GCC 12 bitwise-copies braced
+// aggregate temporaries into coroutine frames (see the toolchain caution in
+// src/sim/task.h), which corrupts any non-trivial member. Declaring a
+// defaulted default constructor (`Msg() = default;`) is enough to make the
+// type a non-aggregate, whose temporaries are compiled correctly.
+template <typename Req>
+concept RpcRequest = requires(const Req r) {
+  typename Req::Response;
+  { r.wire_size() } -> std::convertible_to<size_t>;
+} && !std::is_aggregate_v<Req> && !std::is_aggregate_v<typename Req::Response>;
+
+class Node {
+ public:
+  Node(sim::Machine& machine, sim::Network& net)
+      : machine_(machine), net_(net) {}
+  ~Node() { Detach(); }
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  sim::NodeId id() const { return machine_.node_id(); }
+  sim::Machine& machine() { return machine_; }
+  sim::Network& network() { return net_; }
+
+  void Attach() {
+    net_.Register(machine_.node_id(), [this](sim::NodeId src, std::any msg, size_t bytes) {
+      OnMessage(src, std::move(msg));
+    });
+    attached_ = true;
+  }
+
+  void Detach() {
+    if (attached_) {
+      net_.Unregister(machine_.node_id());
+      attached_ = false;
+    }
+    pending_.clear();
+  }
+
+  bool attached() const { return attached_; }
+
+  template <RpcRequest Req>
+  void Serve(std::function<sim::Task<Result<typename Req::Response>>(sim::NodeId, Req)> fn) {
+    handlers_[std::type_index(typeid(Req))] = [this, fn = std::move(fn)](sim::NodeId src,
+                                                                         Envelope env) {
+      machine_.actor().Spawn(HandleOne<Req>(fn, src, std::move(env)));
+    };
+  }
+
+  // NOTE: Call is deliberately a plain function that moves its argument into
+  // the CallImpl coroutine. GCC 12 miscompiles braced aggregate prvalues
+  // passed directly as by-value coroutine parameters (the parameter is
+  // bitwise-copied into the frame, leaving self-referential members dangling);
+  // routing through a non-coroutine wrapper turns the argument into an xvalue
+  // of a named object, which is compiled correctly. See tests/rpc/rpc_test.cc.
+  template <RpcRequest Req>
+  sim::Task<Result<typename Req::Response>> Call(sim::NodeId dst, Req req, Nanos timeout) {
+    return CallImpl<Req>(dst, std::move(req), timeout);
+  }
+
+ private:
+  template <RpcRequest Req>
+  sim::Task<Result<typename Req::Response>> CallImpl(sim::NodeId dst, Req req, Nanos timeout) {
+    const uint64_t call_id = next_call_id_++;
+    auto state = std::make_shared<PendingCall>();
+    pending_[call_id] = state;
+    const size_t bytes = req.wire_size() + kHeaderBytes;
+    Envelope env{call_id, /*is_reply=*/false, std::type_index(typeid(Req)), Status::Ok(),
+                 std::move(req)};
+    net_.Send(id(), dst, std::move(env), bytes);
+    const bool fired = co_await state->done.TimedWait(timeout);
+    pending_.erase(call_id);
+    if (!fired) {
+      co_return Status::Timeout("rpc timeout");
+    }
+    if (!state->status.ok()) {
+      co_return state->status;
+    }
+    co_return std::any_cast<typename Req::Response>(std::move(state->reply));
+  }
+
+ public:
+  // Fire-and-forget notification (no reply expected).
+  template <RpcRequest Req>
+  void Notify(sim::NodeId dst, Req req) {
+    const size_t bytes = req.wire_size() + kHeaderBytes;
+    Envelope env{next_call_id_++, /*is_reply=*/false, std::type_index(typeid(Req)),
+                 Status::Ok(), std::move(req)};
+    env.fire_and_forget = true;
+    net_.Send(id(), dst, std::move(env), bytes);
+  }
+
+ private:
+  static constexpr size_t kHeaderBytes = 64;
+
+  struct Envelope {
+    uint64_t call_id;
+    bool is_reply;
+    std::type_index type;
+    Status status;
+    std::any payload;
+    bool fire_and_forget = false;
+  };
+
+  struct PendingCall {
+    sim::Event done;
+    Status status;
+    std::any reply;
+  };
+
+  template <RpcRequest Req>
+  sim::Task<> HandleOne(
+      std::function<sim::Task<Result<typename Req::Response>>(sim::NodeId, Req)> fn,
+      sim::NodeId src, Envelope env) {
+    Req req = std::any_cast<Req>(std::move(env.payload));
+    const bool fire_and_forget = env.fire_and_forget;
+    Result<typename Req::Response> result = co_await fn(src, std::move(req));
+    if (fire_and_forget) {
+      co_return;
+    }
+    Envelope reply{env.call_id, /*is_reply=*/true, std::type_index(typeid(void)),
+                   result.ok() ? Status::Ok() : result.status(), std::any{}};
+    size_t bytes = kHeaderBytes;
+    if (result.ok()) {
+      bytes += result.value().wire_size();
+      reply.payload = std::move(result).value();
+    }
+    net_.Send(id(), src, std::move(reply), bytes);
+  }
+
+  void OnMessage(sim::NodeId src, std::any msg) {
+    Envelope env = std::any_cast<Envelope>(std::move(msg));
+    if (env.is_reply) {
+      auto it = pending_.find(env.call_id);
+      if (it == pending_.end()) {
+        return;  // caller gave up or restarted
+      }
+      auto state = it->second;
+      state->status = env.status;
+      state->reply = std::move(env.payload);
+      state->done.Set();
+      return;
+    }
+    auto hit = handlers_.find(env.type);
+    if (hit == handlers_.end()) {
+      return;  // no such service here; drop (caller times out)
+    }
+    hit->second(src, std::move(env));
+  }
+
+  sim::Machine& machine_;
+  sim::Network& net_;
+  bool attached_ = false;
+  uint64_t next_call_id_ = 1;
+  std::unordered_map<std::type_index, std::function<void(sim::NodeId, Envelope)>> handlers_;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_;
+};
+
+}  // namespace cheetah::rpc
+
+#endif  // SRC_RPC_NODE_H_

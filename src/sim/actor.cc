@@ -1,0 +1,37 @@
+#include "src/sim/actor.h"
+
+#include <vector>
+
+namespace cheetah::sim {
+
+void Actor::Spawn(Task<> task) {
+  assert(alive_ && "Spawn on a dead actor");
+  RootTask root = RunRoot(std::move(task));
+  const uint64_t id = next_root_id_++;
+  root.handle.promise().actor = this;
+  root.handle.promise().root_id = id;
+  roots_[id] = root.handle;
+  root.handle.resume();
+}
+
+void Actor::Kill() {
+  alive_ = false;
+  ++epoch_;
+  // Destroying a root frame may cascade into child frames (Task destructors)
+  // but never into other roots, so a simple sweep is safe.
+  auto roots = std::move(roots_);
+  roots_.clear();
+  for (auto& [id, handle] : roots) {
+    handle.destroy();
+  }
+}
+
+void Actor::KillSoon() {
+  loop_.ScheduleAt(loop_.Now(), [this, e = epoch_] {
+    if (AliveAt(e)) {
+      Kill();
+    }
+  });
+}
+
+}  // namespace cheetah::sim

@@ -1,0 +1,149 @@
+// Actor: an execution domain whose coroutines can be killed as a unit.
+//
+// Every simulated process (meta server, data server, client proxy, manager)
+// owns an Actor. Coroutines are started with Spawn() and form trees; Kill()
+// destroys every live tree (RAII-cleaning their frames) and bumps the actor's
+// epoch so that in-flight completion callbacks (timers, disk/network acks)
+// become no-ops instead of resuming destroyed frames.
+//
+// Kill() must not be called from inside one of the actor's own coroutines —
+// that would destroy the running frame. Use KillSoon() for self-crashes.
+#ifndef SRC_SIM_ACTOR_H_
+#define SRC_SIM_ACTOR_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/units.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+
+namespace cheetah::sim {
+
+class Actor {
+ public:
+  explicit Actor(EventLoop& loop, std::string name = "actor")
+      : loop_(loop), name_(std::move(name)) {}
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+  ~Actor() { Kill(); }
+
+  EventLoop& loop() { return loop_; }
+  Nanos Now() const { return loop_.Now(); }
+  const std::string& name() const { return name_; }
+
+  bool alive() const { return alive_; }
+  uint64_t epoch() const { return epoch_; }
+  bool AliveAt(uint64_t e) const { return alive_ && e == epoch_; }
+
+  // Starts a coroutine tree owned by this actor.
+  void Spawn(Task<> task);
+
+  // Destroys all live coroutine trees and invalidates pending resumptions.
+  void Kill();
+
+  // Schedules Kill() to run from a plain event-loop callback; safe to call
+  // from inside one of this actor's own coroutines.
+  void KillSoon();
+
+  // Re-enables Spawn() after a Kill() (simulating process restart).
+  void Revive() { alive_ = true; }
+
+  // Resumes `h` at virtual time `t` unless the epoch has moved on.
+  void ResumeAt(Nanos t, std::coroutine_handle<> h, uint64_t e) {
+    loop_.ScheduleAt(t, [this, h, e] {
+      if (AliveAt(e)) {
+        h.resume();
+      }
+    });
+  }
+  void ResumeSoon(std::coroutine_handle<> h, uint64_t e) { ResumeAt(loop_.Now(), h, e); }
+
+  // --- spawn machinery (public only for the promise type) ---
+  struct RootTask {
+    struct promise_type : internal::PromiseBase {
+      uint64_t root_id = 0;
+
+      RootTask get_return_object() {
+        return RootTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      void return_void() {}
+      void unhandled_exception() {
+        std::fprintf(stderr, "fatal: unhandled exception escaped a spawned coroutine\n");
+        std::terminate();
+      }
+      struct FinalAwaiter {
+        bool await_ready() noexcept { return false; }
+        std::coroutine_handle<> await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+          Actor* actor = h.promise().actor;
+          const uint64_t id = h.promise().root_id;
+          h.destroy();
+          actor->roots_.erase(id);
+          return std::noop_coroutine();
+        }
+        void await_resume() noexcept {}
+      };
+      FinalAwaiter final_suspend() noexcept { return {}; }
+    };
+    std::coroutine_handle<promise_type> handle;
+  };
+
+ private:
+  static RootTask RunRoot(Task<> task) { co_await std::move(task); }
+
+  EventLoop& loop_;
+  std::string name_;
+  bool alive_ = true;
+  uint64_t epoch_ = 0;
+  uint64_t next_root_id_ = 0;
+  std::unordered_map<uint64_t, std::coroutine_handle<>> roots_;
+};
+
+// `co_await SleepFor(d)` — suspends the current coroutine for virtual time d.
+struct SleepFor {
+  explicit SleepFor(Nanos delay) : delay(delay) {}
+  Nanos delay;
+  Actor* actor = nullptr;
+
+  void SetActor(Actor* a) { actor = a; }
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    assert(actor && "sleep awaited outside an actor coroutine");
+    actor->ResumeAt(actor->Now() + delay, h, actor->epoch());
+  }
+  void await_resume() const noexcept {}
+};
+
+// `co_await SleepUntil(t)` — suspends until virtual time t (no-op if past).
+struct SleepUntil {
+  explicit SleepUntil(Nanos time) : time(time) {}
+  Nanos time;
+  Actor* actor = nullptr;
+
+  void SetActor(Actor* a) { actor = a; }
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    assert(actor && "sleep awaited outside an actor coroutine");
+    actor->ResumeAt(std::max(actor->Now(), time), h, actor->epoch());
+  }
+  void await_resume() const noexcept {}
+};
+
+// `Actor* self = co_await CurrentActor{};` — retrieves the owning actor.
+struct CurrentActor {
+  Actor* actor = nullptr;
+
+  void SetActor(Actor* a) { actor = a; }
+  bool await_ready() const noexcept { return false; }
+  bool await_suspend(std::coroutine_handle<>) noexcept { return false; }  // resume immediately
+  Actor* await_resume() const noexcept { return actor; }
+};
+
+}  // namespace cheetah::sim
+
+#endif  // SRC_SIM_ACTOR_H_

@@ -1,0 +1,41 @@
+#include "src/sim/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace cheetah::sim {
+
+void EventLoop::ScheduleAt(Nanos time, std::function<void()> fn) {
+  assert(time >= now_ && "cannot schedule in the past");
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+bool EventLoop::RunOne() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&, but the element is about to be
+  // popped, so moving it out is safe and avoids copying the callback.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void EventLoop::Run() {
+  while (RunOne()) {
+  }
+}
+
+void EventLoop::RunUntil(Nanos deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace cheetah::sim

@@ -1,0 +1,64 @@
+// Deterministic discrete-event loop with a virtual clock.
+//
+// All simulated activity — network delivery, disk completion, timers — is a
+// callback scheduled at a virtual timestamp. Ties are broken by insertion
+// order, so a given seed always produces the identical execution.
+#ifndef SRC_SIM_EVENT_LOOP_H_
+#define SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace cheetah::sim {
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Nanos Now() const { return now_; }
+
+  void ScheduleAt(Nanos time, std::function<void()> fn);
+  void ScheduleAfter(Nanos delay, std::function<void()> fn) { ScheduleAt(now_ + delay, fn); }
+
+  // Runs a single event; returns false if the queue is empty.
+  bool RunOne();
+
+  // Runs until no events remain.
+  void Run();
+
+  // Runs events with timestamp <= deadline; advances the clock to `deadline`
+  // even if the queue drains earlier (so periodic loads can be layered).
+  void RunUntil(Nanos deadline);
+  void RunFor(Nanos duration) { RunUntil(now_ + duration); }
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Nanos time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace cheetah::sim
+
+#endif  // SRC_SIM_EVENT_LOOP_H_

@@ -1,0 +1,65 @@
+// A simulated machine: one actor (execution domain), a CPU, and some disks.
+// Server processes (meta/data/manager) live on machines; crashing a machine
+// kills its actor and (optionally, for power failures) drops unsynced data.
+#ifndef SRC_SIM_MACHINE_H_
+#define SRC_SIM_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/actor.h"
+#include "src/sim/network.h"
+#include "src/sim/resource.h"
+#include "src/sim/storage.h"
+
+namespace cheetah::sim {
+
+struct MachineParams {
+  int cpu_cores = 32;
+  int num_disks = 1;
+  DiskParams disk;
+};
+
+class Machine {
+ public:
+  Machine(EventLoop& loop, NodeId node_id, std::string name, MachineParams params)
+      : node_id_(node_id),
+        actor_(loop, name),
+        cpu_(loop, params.cpu_cores) {
+    for (int i = 0; i < params.num_disks; ++i) {
+      disks_.push_back(std::make_unique<Storage>(loop, params.disk));
+    }
+  }
+
+  NodeId node_id() const { return node_id_; }
+  Actor& actor() { return actor_; }
+  Resource& cpu() { return cpu_; }
+  Storage& disk(size_t i = 0) { return *disks_.at(i); }
+  size_t num_disks() const { return disks_.size(); }
+  EventLoop& loop() { return actor_.loop(); }
+  bool alive() const { return actor_.alive(); }
+
+  // Process crash: in-memory state lost, durable media intact.
+  void CrashProcess() { actor_.Kill(); }
+
+  // Power failure: process dies and unsynced file data is dropped.
+  void PowerFailure() {
+    actor_.Kill();
+    for (auto& d : disks_) {
+      d->PowerLoss();
+    }
+  }
+
+  void Restart() { actor_.Revive(); }
+
+ private:
+  NodeId node_id_;
+  Actor actor_;
+  Resource cpu_;
+  std::vector<std::unique_ptr<Storage>> disks_;
+};
+
+}  // namespace cheetah::sim
+
+#endif  // SRC_SIM_MACHINE_H_

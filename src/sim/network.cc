@@ -1,0 +1,59 @@
+#include "src/sim/network.h"
+
+#include <memory>
+
+namespace cheetah::sim {
+
+void Network::Register(NodeId id, Handler handler) {
+  Endpoint& ep = endpoints_[id];
+  ep.handler = std::move(handler);
+  if (!ep.nic) {
+    ep.nic = std::make_unique<Resource>(loop_, params_.nic_lanes);
+  }
+}
+
+void Network::Unregister(NodeId id) { endpoints_.erase(id); }
+
+void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
+  ++messages_sent_;
+  auto sit = endpoints_.find(src);
+  if (sit == endpoints_.end()) {
+    ++messages_dropped_;
+    return;  // sender died between deciding to send and sending
+  }
+  Nanos arrive;
+  if (src == dst) {
+    arrive = loop_.Now() + params_.loopback_latency;
+  } else {
+    const Nanos tx_nanos =
+        static_cast<Nanos>(static_cast<double>(bytes) / params_.bw_bytes_per_sec * 1e9);
+    const Nanos departed = sit->second.nic->Reserve(tx_nanos);
+    arrive = departed + params_.base_latency;
+  }
+  loop_.ScheduleAt(arrive, [this, src, dst, m = std::move(msg), bytes]() mutable {
+    auto dit = endpoints_.find(dst);
+    if (dit == endpoints_.end() || Partitioned(src, dst)) {
+      ++messages_dropped_;
+      return;
+    }
+    dit->second.handler(src, std::move(m), bytes);
+  });
+}
+
+void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  auto key = std::minmax(a, b);
+  if (partitioned) {
+    partitions_.insert(key);
+  } else {
+    partitions_.erase(key);
+  }
+}
+
+bool Network::Partitioned(NodeId a, NodeId b) const {
+  if (a == b) {
+    return false;
+  }
+  return partitions_.contains(std::minmax(a, b));
+}
+
+}  // namespace cheetah::sim

@@ -1,0 +1,72 @@
+// Simulated datacenter network.
+//
+// Each registered node has a NIC modeled as a k-lane transmit resource; a
+// message serializes on the sender's NIC, propagates for the base one-way
+// latency, then is handed to the receiver's handler (which typically spawns a
+// coroutine on the receiver's actor). Messages to dead or partitioned nodes
+// are silently dropped — callers recover via RPC timeouts, exactly as the
+// paper's servers do.
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/units.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/resource.h"
+
+namespace cheetah::sim {
+
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+struct NetParams {
+  Nanos base_latency = Micros(100);         // one-way wire + RPC stack software
+  Nanos loopback_latency = Micros(5);       // same-machine delivery
+  double bw_bytes_per_sec = 3.1e9;          // 25 GbE per NIC (shared)
+  int nic_lanes = 1;  // the wire serializes; lanes model nothing extra
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(NodeId src, std::any msg, size_t bytes)>;
+
+  Network(EventLoop& loop, NetParams params) : loop_(loop), params_(params) {}
+
+  void Register(NodeId id, Handler handler);
+  void Unregister(NodeId id);
+  bool IsRegistered(NodeId id) const { return endpoints_.contains(id); }
+
+  // Fire-and-forget send; delivery is scheduled on the event loop.
+  void Send(NodeId src, NodeId dst, std::any msg, size_t bytes);
+
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  void ClearPartitions() { partitions_.clear(); }
+  bool Partitioned(NodeId a, NodeId b) const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    std::unique_ptr<Resource> nic;
+  };
+
+  EventLoop& loop_;
+  NetParams params_;
+  std::unordered_map<NodeId, Endpoint> endpoints_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace cheetah::sim
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,202 @@
+#include "src/sim/storage.h"
+
+#include <utility>
+
+namespace cheetah::sim {
+
+Task<Status> Storage::Append(std::string name, std::string data, bool sync) {
+  co_await ChargeFileWrite(data.size());
+  File& f = files_[name];
+  f.data.append(data);
+  if (sync) {
+    co_await ChargeFsync();
+    f.synced_len = f.data.size();
+    f.ever_synced = true;
+  }
+  co_return Status::Ok();
+}
+
+Task<Status> Storage::WriteFile(std::string name, std::string data, bool sync) {
+  co_await ChargeFileWrite(data.size());
+  File& f = files_[name];
+  f.data = std::move(data);
+  f.synced_len = std::min<uint64_t>(f.synced_len, f.data.size());
+  if (sync) {
+    co_await ChargeFsync();
+    f.synced_len = f.data.size();
+    f.ever_synced = true;
+  }
+  co_return Status::Ok();
+}
+
+Task<Status> Storage::Sync(std::string name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    co_return Status::NotFound("sync: no such file " + name);
+  }
+  co_await ChargeFsync();
+  it->second.synced_len = it->second.data.size();
+  it->second.ever_synced = true;
+  co_return Status::Ok();
+}
+
+Task<Result<std::string>> Storage::ReadFile(std::string name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    co_return Status::NotFound("read: no such file " + name);
+  }
+  co_await ChargeFileRead(it->second.data.size());
+  co_return it->second.data;
+}
+
+Task<Result<std::string>> Storage::ReadAt(std::string name, uint64_t offset, uint64_t length) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    co_return Status::NotFound("read: no such file " + name);
+  }
+  if (offset + length > it->second.data.size()) {
+    co_return Status::InvalidArgument("read past end of " + name);
+  }
+  co_await ChargeFileRead(length);
+  co_return it->second.data.substr(offset, length);
+}
+
+Status Storage::DeleteFile(const std::string& name) {
+  files_.erase(name);
+  return Status::Ok();
+}
+
+uint64_t Storage::FileSize(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+std::vector<std::string> Storage::ListFiles(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [name, file] : files_) {
+    if (name.starts_with(prefix)) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+Task<Status> Storage::WriteBlocks(std::string volume, uint64_t offset, std::string data,
+                                  uint32_t checksum) {
+  const uint64_t length = data.size();
+  co_await ChargeWrite(length);
+  co_await ChargeFsync();
+  Volume& vol = volumes_[volume];
+  auto it = vol.extents.find(offset);
+  if (it != vol.extents.end()) {
+    vol.bytes_used -= it->second.length;
+    vol.extents.erase(it);
+  }
+  if (!store_volume_content_) {
+    data.clear();
+    data.shrink_to_fit();
+  }
+  vol.extents.emplace(offset, Extent{std::move(data), checksum, length});
+  vol.bytes_used += length;
+  co_return Status::Ok();
+}
+
+Task<Result<std::string>> Storage::ReadBlocks(std::string volume, uint64_t offset,
+                                              uint64_t length) {
+  auto vit = volumes_.find(volume);
+  if (vit == volumes_.end()) {
+    co_return Status::NotFound("no such volume " + volume);
+  }
+  auto eit = vit->second.extents.find(offset);
+  if (eit == vit->second.extents.end() || eit->second.length != length) {
+    co_return Status::NotFound("no extent at requested offset");
+  }
+  co_await ChargeRead(length);
+  if (!store_volume_content_) {
+    co_return std::string(length, 'x');  // synthesized payload
+  }
+  co_return eit->second.data;
+}
+
+std::optional<uint32_t> Storage::PeekChecksum(const std::string& volume,
+                                              uint64_t offset) const {
+  auto vit = volumes_.find(volume);
+  if (vit == volumes_.end()) {
+    return std::nullopt;
+  }
+  auto eit = vit->second.extents.find(offset);
+  if (eit == vit->second.extents.end()) {
+    return std::nullopt;
+  }
+  return eit->second.checksum;
+}
+
+std::vector<Storage::ExtentInfo> Storage::ListVolumeExtents(const std::string& volume) const {
+  std::vector<ExtentInfo> out;
+  auto it = volumes_.find(volume);
+  if (it == volumes_.end()) {
+    return out;
+  }
+  out.reserve(it->second.extents.size());
+  for (const auto& [offset, extent] : it->second.extents) {
+    out.push_back(ExtentInfo{offset, extent.length, extent.checksum});
+  }
+  return out;
+}
+
+Task<Result<uint32_t>> Storage::ProbeChecksum(std::string volume, uint64_t offset) {
+  auto vit = volumes_.find(volume);
+  if (vit == volumes_.end()) {
+    co_return Status::NotFound("no such volume " + volume);
+  }
+  auto eit = vit->second.extents.find(offset);
+  if (eit == vit->second.extents.end()) {
+    co_return Status::NotFound("no extent at requested offset");
+  }
+  co_await ChargeRead(4096);  // checksum probe reads a header, not the payload
+  co_return eit->second.checksum;
+}
+
+void Storage::DiscardBlocks(const std::string& volume, uint64_t offset) {
+  auto vit = volumes_.find(volume);
+  if (vit == volumes_.end()) {
+    return;
+  }
+  auto eit = vit->second.extents.find(offset);
+  if (eit != vit->second.extents.end()) {
+    vit->second.bytes_used -= eit->second.length;
+    vit->second.extents.erase(eit);
+  }
+}
+
+uint64_t Storage::VolumeBytesUsed(const std::string& volume) const {
+  auto it = volumes_.find(volume);
+  return it == volumes_.end() ? 0 : it->second.bytes_used;
+}
+
+void Storage::PowerLoss() {
+  for (auto it = files_.begin(); it != files_.end();) {
+    File& f = it->second;
+    if (!f.ever_synced) {
+      it = files_.erase(it);
+      continue;
+    }
+    f.data.resize(f.synced_len);
+    ++it;
+  }
+}
+
+void Storage::DestroyMedia() {
+  files_.clear();
+  volumes_.clear();
+}
+
+uint64_t Storage::TotalFileBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, f] : files_) {
+    total += f.data.size();
+  }
+  return total;
+}
+
+}  // namespace cheetah::sim

@@ -1,0 +1,177 @@
+// Simulated SSD: a latency/queue model plus durable content.
+//
+// Two content planes:
+//  * A flat in-memory filesystem (append-oriented files) used by the KV store
+//    (WAL, SSTables, manifests) and by baselines' needle/chunk files. Appends
+//    become durable at fsync; power loss truncates to the last synced length.
+//  * Raw block volumes (extent -> bytes) used by Cheetah's object-agnostic
+//    data servers. Volume writes are always synchronous (the data path acks
+//    only after persistence), so they survive power loss.
+//
+// Latency: every operation reserves a disk channel for base + bytes/bandwidth.
+#ifndef SRC_SIM_STORAGE_H_
+#define SRC_SIM_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/sim/resource.h"
+#include "src/sim/task.h"
+
+namespace cheetah::sim {
+
+struct DiskParams {
+  Nanos write_base = Micros(30);
+  double write_bw_bytes_per_sec = 1.2e9;   // shared across all in-flight ops
+  Nanos read_base = Micros(20);
+  double read_bw_bytes_per_sec = 2.5e9;    // shared across all in-flight ops
+  Nanos fsync_base = Micros(15);
+  int channels = 8;  // queue parallelism for the fixed per-op cost only
+
+  static DiskParams RamDisk() {
+    return DiskParams{.write_base = Micros(1),
+                      .write_bw_bytes_per_sec = 20e9,
+                      .read_base = Micros(1),
+                      .read_bw_bytes_per_sec = 20e9,
+                      .fsync_base = 0,
+                      .channels = 16};
+  }
+};
+
+class Storage {
+ public:
+  Storage(EventLoop& loop, DiskParams params)
+      : params_(params), channels_(loop, params.channels), bus_(loop, 1) {}
+
+  const DiskParams& params() const { return params_; }
+
+  // ---- latency primitives ----
+  // An I/O pays a fixed per-op cost on one of `channels` queue slots plus a
+  // transfer time serialized on the single shared-bandwidth bus; it completes
+  // when both are done.
+  struct IoAwaiter {
+    Resource& channels;
+    Resource& bus;
+    Nanos base;
+    Nanos transfer;
+    Actor* actor = nullptr;
+
+    void SetActor(Actor* a) { actor = a; }
+    bool await_ready() const noexcept { return base == 0 && transfer == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      const Nanos channel_done = channels.Reserve(base);
+      const Nanos bus_done = transfer > 0 ? bus.Reserve(transfer) : 0;
+      actor->ResumeAt(std::max(channel_done, bus_done), h, actor->epoch());
+    }
+    void await_resume() const noexcept {}
+  };
+  IoAwaiter ChargeWrite(uint64_t bytes) {
+    return IoAwaiter{channels_, bus_, params_.write_base,
+                     BwNanos(bytes, params_.write_bw_bytes_per_sec)};
+  }
+  IoAwaiter ChargeRead(uint64_t bytes) {
+    return IoAwaiter{channels_, bus_, params_.read_base,
+                     BwNanos(bytes, params_.read_bw_bytes_per_sec)};
+  }
+  IoAwaiter ChargeFsync() { return IoAwaiter{channels_, bus_, params_.fsync_base, 0}; }
+
+  // File-plane variants: sequential log/SSTable streams get their own NAND
+  // bandwidth and do not head-of-line-block small volume I/O (and vice
+  // versa); the per-op fixed cost still shares the channel queue.
+  Resource::UseAwaiter ChargeFileWrite(uint64_t bytes) {
+    return channels_.Use(params_.write_base + BwNanos(bytes, params_.write_bw_bytes_per_sec));
+  }
+  Resource::UseAwaiter ChargeFileRead(uint64_t bytes) {
+    return channels_.Use(params_.read_base + BwNanos(bytes, params_.read_bw_bytes_per_sec));
+  }
+
+  // ---- flat filesystem ----
+  // Appends to (creating if absent) a file; durable immediately iff sync.
+  Task<Status> Append(std::string name, std::string data, bool sync);
+  // Replaces the entire file content; durable immediately iff sync.
+  Task<Status> WriteFile(std::string name, std::string data, bool sync);
+  Task<Status> Sync(std::string name);
+  Task<Result<std::string>> ReadFile(std::string name);
+  Task<Result<std::string>> ReadAt(std::string name, uint64_t offset, uint64_t length);
+  // Deletion is a metadata operation; modeled as instantaneous and durable.
+  Status DeleteFile(const std::string& name);
+  bool FileExists(const std::string& name) const { return files_.contains(name); }
+  uint64_t FileSize(const std::string& name) const;
+  std::vector<std::string> ListFiles(const std::string& prefix) const;
+
+  // When false, volume extents keep only (length, checksum) and reads return
+  // synthesized bytes — latency/bandwidth accounting is unchanged. Benches
+  // use this to store hundreds of thousands of objects without holding their
+  // payloads in host memory; tests keep full content for integrity checks.
+  void set_store_volume_content(bool store) { store_volume_content_ = store; }
+  bool store_volume_content() const { return store_volume_content_; }
+
+  struct ExtentInfo {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t checksum = 0;
+  };
+  std::vector<ExtentInfo> ListVolumeExtents(const std::string& volume) const;
+
+  // Checksum of the extent at `offset` without charging the device (the
+  // caller is already paying for the data read itself).
+  std::optional<uint32_t> PeekChecksum(const std::string& volume, uint64_t offset) const;
+
+  // ---- raw block volumes ----
+  // Writes `data` at byte offset `offset` of the named volume (synchronous).
+  Task<Status> WriteBlocks(std::string volume, uint64_t offset, std::string data,
+                           uint32_t checksum);
+  Task<Result<std::string>> ReadBlocks(std::string volume, uint64_t offset, uint64_t length);
+  // Checksum of the extent at `offset` without transferring data (recovery
+  // probes); charges a single header-sized read.
+  Task<Result<uint32_t>> ProbeChecksum(std::string volume, uint64_t offset);
+  // Drops extents (space reclaim bookkeeping on the device side is free).
+  void DiscardBlocks(const std::string& volume, uint64_t offset);
+  uint64_t VolumeBytesUsed(const std::string& volume) const;
+
+  // ---- failure injection ----
+  // Power loss: unsynced file data is lost. Volume extents were written
+  // synchronously and survive.
+  void PowerLoss();
+  // Media failure: everything is lost.
+  void DestroyMedia();
+
+  uint64_t TotalFileBytes() const;
+
+ private:
+  struct File {
+    std::string data;
+    uint64_t synced_len = 0;
+    bool ever_synced = false;
+  };
+  struct Extent {
+    std::string data;
+    uint32_t checksum = 0;
+    uint64_t length = 0;
+  };
+  struct Volume {
+    std::map<uint64_t, Extent> extents;  // keyed by byte offset
+    uint64_t bytes_used = 0;
+  };
+
+  static Nanos BwNanos(uint64_t bytes, double bw) {
+    return static_cast<Nanos>(static_cast<double>(bytes) / bw * 1e9);
+  }
+
+  DiskParams params_;
+  Resource channels_;
+  Resource bus_;  // shared bandwidth
+  bool store_volume_content_ = true;
+  std::unordered_map<std::string, File> files_;
+  std::unordered_map<std::string, Volume> volumes_;
+};
+
+}  // namespace cheetah::sim
+
+#endif  // SRC_SIM_STORAGE_H_

@@ -1,0 +1,193 @@
+// Lazy coroutine task type used by all simulated protocol code.
+//
+// A Task<T> starts suspended; awaiting it transfers control into the child and
+// the child resumes its parent at final_suspend (symmetric transfer). Each
+// task tree belongs to an Actor (see actor.h): the root carries the Actor
+// pointer and it is propagated to children when they are awaited, and to
+// actor-aware awaitables (sleeps, event waits, disk/network operations)
+// through await_transform. When an actor is killed, root frames are destroyed
+// and any in-flight completion callbacks become no-ops via epoch checks.
+//
+// TOOLCHAIN CAUTION (GCC 12): never pass a braced aggregate prvalue directly
+// as a by-value coroutine argument — `co_await Foo(Bar{.x = 1})` with Bar an
+// aggregate is miscompiled (the parameter is bitwise-copied into the frame,
+// so self-referential members like SSO std::string dangle). Bind to a named
+// variable and std::move it, or route through a non-coroutine wrapper as
+// rpc::Node::Call does. Strings, non-aggregates, and function-call results
+// are unaffected.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <variant>
+
+namespace cheetah::sim {
+
+class Actor;
+
+// An awaitable can opt in to learning which Actor's coroutine is awaiting it
+// by providing `void SetActor(Actor*)`.
+template <typename A>
+concept ActorAware = requires(A a, Actor* actor) { a.SetActor(actor); };
+
+namespace internal {
+
+struct PromiseBase {
+  Actor* actor = nullptr;
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  template <typename A>
+  decltype(auto) await_transform(A&& a) {
+    if constexpr (ActorAware<std::remove_reference_t<A>>) {
+      a.SetActor(actor);
+    }
+    return std::forward<A>(a);
+  }
+};
+
+}  // namespace internal
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseBase {
+    std::variant<std::monostate, T, std::exception_ptr> result;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T value) { result.template emplace<1>(std::move(value)); }
+    void unhandled_exception() { result.template emplace<2>(std::current_exception()); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  // Awaiting a task: propagate the actor, remember the parent, run the child.
+  bool await_ready() const noexcept { return false; }
+  template <typename ParentPromise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<ParentPromise> parent) {
+    assert(handle_ && "awaiting an empty Task");
+    if constexpr (std::is_base_of_v<internal::PromiseBase, ParentPromise>) {
+      handle_.promise().actor = parent.promise().actor;
+    }
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() {
+    auto& result = handle_.promise().result;
+    if (result.index() == 2) {
+      std::rethrow_exception(std::get<2>(result));
+    }
+    assert(result.index() == 1 && "task completed without a value");
+    return std::move(std::get<1>(result));
+  }
+
+  // For the spawn machinery only.
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+  std::coroutine_handle<promise_type> Release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase {
+    std::exception_ptr exception;
+    bool done = false;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() { done = true; }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  bool await_ready() const noexcept { return false; }
+  template <typename ParentPromise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<ParentPromise> parent) {
+    assert(handle_ && "awaiting an empty Task");
+    if constexpr (std::is_base_of_v<internal::PromiseBase, ParentPromise>) {
+      handle_.promise().actor = parent.promise().actor;
+    }
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+  std::coroutine_handle<promise_type> Release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace cheetah::sim
+
+#endif  // SRC_SIM_TASK_H_

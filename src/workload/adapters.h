@@ -1,0 +1,31 @@
+// ObjectStore adapter for Cheetah's client proxy, so the workload runner can
+// drive Cheetah and the baselines through one interface.
+#ifndef SRC_WORKLOAD_ADAPTERS_H_
+#define SRC_WORKLOAD_ADAPTERS_H_
+
+#include "src/core/client_proxy.h"
+#include "src/workload/object_store.h"
+
+namespace cheetah::workload {
+
+class CheetahStore : public ObjectStore {
+ public:
+  explicit CheetahStore(core::ClientProxy* proxy) : proxy_(proxy) {}
+
+  sim::Task<Status> Put(std::string name, std::string data) override {
+    return proxy_->Put(std::move(name), std::move(data));
+  }
+  sim::Task<Result<std::string>> Get(std::string name) override {
+    return proxy_->Get(std::move(name));
+  }
+  sim::Task<Status> Delete(std::string name) override {
+    return proxy_->Delete(std::move(name));
+  }
+
+ private:
+  core::ClientProxy* proxy_;
+};
+
+}  // namespace cheetah::workload
+
+#endif  // SRC_WORKLOAD_ADAPTERS_H_

@@ -1,0 +1,70 @@
+#include "src/workload/generator.h"
+
+namespace cheetah::workload {
+
+SizeDist FixedSize(uint64_t bytes) {
+  return [bytes](Rng&) { return bytes; };
+}
+
+SizeDist UniformSize(uint64_t lo, uint64_t hi) {
+  return [lo, hi](Rng& rng) { return rng.UniformRange(lo, hi); };
+}
+
+SizeDist TraceSize() {
+  // Fig. 16b buckets: (upper bound KB, cumulative probability).
+  struct Bucket {
+    uint64_t lo_kb;
+    uint64_t hi_kb;
+    double prob;
+  };
+  static const Bucket kBuckets[] = {
+      {1, 64, 0.037},   {64, 128, 0.143},  {128, 192, 0.089}, {192, 256, 0.045},
+      {256, 320, 0.038}, {320, 384, 0.034}, {384, 448, 0.051}, {448, 512, 0.563},
+  };
+  return [](Rng& rng) {
+    double u = rng.NextDouble();
+    for (const auto& b : kBuckets) {
+      if (u < b.prob) {
+        return KiB(rng.UniformRange(b.lo_kb, b.hi_kb));
+      }
+      u -= b.prob;
+    }
+    return KiB(rng.UniformRange(448, 512));
+  };
+}
+
+Op MixedWorkload::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  Op op;
+  if (u < put_ratio_ || pool_->empty()) {
+    op.type = OpType::kPut;
+    op.name = pool_->NextName();
+    op.size = sizes_(rng);
+    return op;
+  }
+  if (u < put_ratio_ + delete_ratio_) {
+    op.type = OpType::kDelete;
+    op.name = pool_->Take(rng);
+    return op;
+  }
+  op.type = OpType::kGet;
+  op.name = pool_->Sample(rng);
+  return op;
+}
+
+std::vector<TraceDay> TraceOpRatios(int days) {
+  // Fig. 16a: put dominates (~0.5-0.65), deletes are substantial (~0.2-0.35)
+  // because "most objects have a lifecycle", gets are the remainder.
+  std::vector<TraceDay> out;
+  Rng rng(0x7ace);
+  for (int d = 0; d < days; ++d) {
+    TraceDay day;
+    day.put_ratio = 0.50 + 0.15 * rng.NextDouble();
+    day.delete_ratio = 0.20 + 0.15 * rng.NextDouble();
+    day.get_ratio = 1.0 - day.put_ratio - day.delete_ratio;
+    out.push_back(day);
+  }
+  return out;
+}
+
+}  // namespace cheetah::workload

@@ -1,0 +1,103 @@
+// Request-stream generators: object sizes (including the production trace's
+// size histogram, Fig. 16b), op mixes (YCSB-style, Fig. 20), and the
+// synthesized 21-day trace (Fig. 16).
+#ifndef SRC_WORKLOAD_GENERATOR_H_
+#define SRC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/units.h"
+
+namespace cheetah::workload {
+
+enum class OpType { kPut, kGet, kDelete };
+
+struct Op {
+  OpType type = OpType::kPut;
+  std::string name;
+  uint64_t size = 0;  // puts only
+};
+
+// ---- size distributions ----
+
+using SizeDist = std::function<uint64_t(Rng&)>;
+
+SizeDist FixedSize(uint64_t bytes);
+SizeDist UniformSize(uint64_t lo, uint64_t hi);
+
+// Fig. 16b: production object-size histogram (KB buckets -> percentage).
+//   0-64: 3.7  64-128: 14.3  128-192: 8.9  192-256: 4.5
+//   256-320: 3.8  320-384: 3.4  384-448: 5.1  448-512: 56.3
+SizeDist TraceSize();
+
+// ---- name pools ----
+
+// Generates unique names and tracks the live population for get/delete
+// sampling. Single-threaded (one per runner).
+class NamePool {
+ public:
+  explicit NamePool(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  std::string NextName() { return prefix_ + std::to_string(next_++); }
+  void Add(std::string name) { live_.push_back(std::move(name)); }
+
+  bool empty() const { return live_.empty(); }
+  size_t size() const { return live_.size(); }
+
+  // Samples a live name uniformly; removal swaps with the back.
+  std::string Sample(Rng& rng) const { return live_[rng.Uniform(live_.size())]; }
+  std::string Take(Rng& rng) {
+    const size_t idx = rng.Uniform(live_.size());
+    std::string name = std::move(live_[idx]);
+    live_[idx] = std::move(live_.back());
+    live_.pop_back();
+    return name;
+  }
+
+ private:
+  std::string prefix_;
+  uint64_t next_ = 0;
+  std::vector<std::string> live_;
+};
+
+// ---- op mixes ----
+
+// Draws ops with the given ratios; gets/deletes target live objects (falls
+// back to put while the pool is empty). Ratios must sum to <= 1; the
+// remainder goes to gets.
+class MixedWorkload {
+ public:
+  MixedWorkload(double put_ratio, double delete_ratio, SizeDist sizes, NamePool* pool)
+      : put_ratio_(put_ratio),
+        delete_ratio_(delete_ratio),
+        sizes_(std::move(sizes)),
+        pool_(pool) {}
+
+  Op Next(Rng& rng);
+
+ private:
+  double put_ratio_;
+  double delete_ratio_;
+  SizeDist sizes_;
+  NamePool* pool_;
+};
+
+// ---- the 21-day production trace (Fig. 16) ----
+
+struct TraceDay {
+  double put_ratio;
+  double get_ratio;
+  double delete_ratio;
+};
+
+// Per-day op ratios shaped like Fig. 16a: writes dominate, deletes are heavy
+// because objects have lifecycles, with day-to-day variation.
+std::vector<TraceDay> TraceOpRatios(int days = 21);
+
+}  // namespace cheetah::workload
+
+#endif  // SRC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,26 @@
+// The client-facing object store interface (put/get/delete, §1) that every
+// evaluated system implements: Cheetah (and its variants), Haystack,
+// Tectonic, and the Ceph-like store. The workload runner drives this
+// interface so all systems see byte-identical request streams.
+#ifndef SRC_WORKLOAD_OBJECT_STORE_H_
+#define SRC_WORKLOAD_OBJECT_STORE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/sim/task.h"
+
+namespace cheetah::workload {
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  virtual sim::Task<Status> Put(std::string name, std::string data) = 0;
+  virtual sim::Task<Result<std::string>> Get(std::string name) = 0;
+  virtual sim::Task<Status> Delete(std::string name) = 0;
+};
+
+}  // namespace cheetah::workload
+
+#endif  // SRC_WORKLOAD_OBJECT_STORE_H_

@@ -1,0 +1,136 @@
+#include "src/workload/runner.h"
+
+#include "src/common/logging.h"
+
+namespace cheetah::workload {
+
+struct Runner::Shared {
+  RunnerResults results;
+  uint64_t issued = 0;
+  int live_workers = 0;
+  Nanos start = 0;
+  Nanos deadline = 0;
+  uint64_t total_ops = 0;
+  std::function<Op(Rng&)> next_op;
+  std::function<void(const std::string&)> on_put_success;
+};
+
+RunnerResults Runner::Run(std::function<Op(Rng&)> next_op,
+                          std::function<void(const std::string&)> on_put_success) {
+  auto shared = std::make_shared<Shared>();
+  shared->next_op = std::move(next_op);
+  shared->on_put_success = std::move(on_put_success);
+  shared->start = loop_.Now();
+  shared->total_ops = config_.total_ops;
+  shared->deadline = config_.duration > 0 ? loop_.Now() + config_.duration : 0;
+  shared->live_workers = config_.concurrency;
+
+  auto worker = [](ObjectStore* store, std::shared_ptr<Shared> shared,
+                   uint64_t seed) -> sim::Task<> {
+    Rng rng(seed);
+    sim::Actor* actor = co_await sim::CurrentActor{};
+    for (;;) {
+      if (shared->total_ops > 0 && shared->issued >= shared->total_ops) {
+        break;
+      }
+      if (shared->deadline > 0 && actor->Now() >= shared->deadline) {
+        break;
+      }
+      ++shared->issued;
+      Op op = shared->next_op(rng);
+      const Nanos t0 = actor->Now();
+      switch (op.type) {
+        case OpType::kPut: {
+          Status s = co_await store->Put(op.name, std::string(op.size, 'd'));
+          const Nanos dt = actor->Now() - t0;
+          if (s.ok()) {
+            shared->results.put.Record(dt);
+            shared->results.all.Record(dt);
+            if (shared->on_put_success) {
+              shared->on_put_success(op.name);
+            }
+          } else {
+            ++shared->results.errors;
+          }
+          break;
+        }
+        case OpType::kGet: {
+          auto r = co_await store->Get(op.name);
+          const Nanos dt = actor->Now() - t0;
+          if (r.ok()) {
+            shared->results.get.Record(dt);
+            shared->results.all.Record(dt);
+          } else if (r.status().IsNotFound()) {
+            ++shared->results.not_found;
+          } else {
+            ++shared->results.errors;
+          }
+          break;
+        }
+        case OpType::kDelete: {
+          Status s = co_await store->Delete(op.name);
+          const Nanos dt = actor->Now() - t0;
+          if (s.ok()) {
+            shared->results.del.Record(dt);
+            shared->results.all.Record(dt);
+          } else if (s.IsNotFound()) {
+            ++shared->results.not_found;
+          } else {
+            ++shared->results.errors;
+          }
+          break;
+        }
+      }
+    }
+    --shared->live_workers;
+  };
+
+  for (int w = 0; w < config_.concurrency; ++w) {
+    auto& [actor, store] = clients_[w % clients_.size()];
+    actor->Spawn(worker(store, shared, config_.seed * 1000003 + w));
+  }
+  while (shared->live_workers > 0) {
+    if (!loop_.RunOne()) {
+      LOG_WARN << "runner: event loop drained with " << shared->live_workers
+               << " workers still live";
+      break;
+    }
+  }
+  shared->results.throughput.ops = shared->results.all.count();
+  shared->results.throughput.interval = loop_.Now() - shared->start;
+  return shared->results;
+}
+
+std::vector<std::string> Preload(sim::EventLoop& loop,
+                                 std::vector<std::pair<sim::Actor*, ObjectStore*>> clients,
+                                 const std::string& prefix, uint64_t count, uint64_t size,
+                                 int concurrency) {
+  auto loaded = std::make_shared<std::vector<std::string>>();
+  auto next = std::make_shared<uint64_t>(0);
+  auto live = std::make_shared<int>(concurrency);
+  auto worker = [](ObjectStore* store, std::shared_ptr<std::vector<std::string>> loaded,
+                   std::shared_ptr<uint64_t> next, std::shared_ptr<int> live,
+                   std::string prefix, uint64_t count, uint64_t size) -> sim::Task<> {
+    for (;;) {
+      const uint64_t i = (*next)++;
+      if (i >= count) {
+        break;
+      }
+      std::string name = prefix + std::to_string(i);
+      Status s = co_await store->Put(name, std::string(size, 'p'));
+      if (s.ok()) {
+        loaded->push_back(std::move(name));
+      }
+    }
+    --*live;
+  };
+  for (int w = 0; w < concurrency; ++w) {
+    auto& [actor, store] = clients[w % clients.size()];
+    actor->Spawn(worker(store, loaded, next, live, prefix, count, size));
+  }
+  while (*live > 0 && loop.RunOne()) {
+  }
+  return *loaded;
+}
+
+}  // namespace cheetah::workload

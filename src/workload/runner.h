@@ -1,0 +1,72 @@
+// Closed-loop load generator in the style of Intel COSBench (§6.1): N
+// concurrent workers per run, each issuing the next operation as soon as the
+// previous completes. Latency is request completion time at the client;
+// throughput is completed ops over the measured virtual interval.
+#ifndef SRC_WORKLOAD_RUNNER_H_
+#define SRC_WORKLOAD_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sim/actor.h"
+#include "src/sim/event_loop.h"
+#include "src/workload/generator.h"
+#include "src/workload/object_store.h"
+#include "src/workload/stats.h"
+
+namespace cheetah::workload {
+
+struct RunnerConfig {
+  RunnerConfig() = default;
+  int concurrency = 20;
+  uint64_t total_ops = 1000;  // 0 = run until `duration` elapses
+  Nanos duration = 0;
+  uint64_t seed = 1;
+};
+
+struct RunnerResults {
+  LatencyRecorder put;
+  LatencyRecorder get;
+  LatencyRecorder del;
+  LatencyRecorder all;
+  Throughput throughput;
+  uint64_t errors = 0;
+  uint64_t not_found = 0;  // gets/deletes that raced a concurrent delete
+};
+
+class Runner {
+ public:
+  // Each client pairs an actor (the simulated client machine) with the store
+  // stub it drives; workers are assigned round-robin.
+  Runner(sim::EventLoop& loop,
+         std::vector<std::pair<sim::Actor*, ObjectStore*>> clients, RunnerConfig config)
+      : loop_(loop), clients_(std::move(clients)), config_(config) {}
+
+  // Blocks (drives the loop) until all workers finish. `next_op` is invoked
+  // once per operation; it may be stateful (e.g. MixedWorkload::Next).
+  // `on_put_success` (optional) fires when a put commits — use it to add the
+  // object to the live pool so gets/deletes never target in-flight puts.
+  RunnerResults Run(std::function<Op(Rng&)> next_op,
+                    std::function<void(const std::string&)> on_put_success = nullptr);
+
+ private:
+  struct Shared;
+
+  sim::EventLoop& loop_;
+  std::vector<std::pair<sim::Actor*, ObjectStore*>> clients_;
+  RunnerConfig config_;
+};
+
+// Loads `count` objects of `size` bytes named "<prefix><i>" with the given
+// concurrency; returns names put successfully. Used to pre-populate stores.
+std::vector<std::string> Preload(sim::EventLoop& loop,
+                                 std::vector<std::pair<sim::Actor*, ObjectStore*>> clients,
+                                 const std::string& prefix, uint64_t count, uint64_t size,
+                                 int concurrency = 64);
+
+}  // namespace cheetah::workload
+
+#endif  // SRC_WORKLOAD_RUNNER_H_

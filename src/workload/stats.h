@@ -1,0 +1,84 @@
+// Measurement helpers: latency recorders with percentiles and windowed
+// throughput counters, all in virtual time.
+#ifndef SRC_WORKLOAD_STATS_H_
+#define SRC_WORKLOAD_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace cheetah::workload {
+
+class LatencyRecorder {
+ public:
+  void Record(Nanos latency) {
+    samples_.push_back(latency);
+    sum_ += static_cast<double>(latency);
+  }
+
+  uint64_t count() const { return samples_.size(); }
+  double MeanMillis() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size()) / 1e6;
+  }
+  double PercentileMillis(double p) {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    std::sort(samples_.begin(), samples_.end());
+    const size_t idx = std::min(samples_.size() - 1,
+                                static_cast<size_t>(p * static_cast<double>(samples_.size())));
+    return static_cast<double>(samples_[idx]) / 1e6;
+  }
+  void Clear() {
+    samples_.clear();
+    sum_ = 0;
+  }
+
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sum_ += other.sum_;
+  }
+
+ private:
+  std::vector<Nanos> samples_;
+  double sum_ = 0;
+};
+
+// Completed operations over a measured virtual-time interval.
+struct Throughput {
+  uint64_t ops = 0;
+  Nanos interval = 0;
+
+  double OpsPerSec() const {
+    return interval == 0 ? 0.0
+                         : static_cast<double>(ops) / (static_cast<double>(interval) / 1e9);
+  }
+};
+
+// Records completions bucketed into fixed windows (time series, Fig. 15).
+class TimeSeries {
+ public:
+  explicit TimeSeries(Nanos bucket_width) : width_(bucket_width) {}
+
+  void Record(Nanos when, uint64_t count = 1) {
+    const size_t bucket = static_cast<size_t>(when / width_);
+    if (buckets_.size() <= bucket) {
+      buckets_.resize(bucket + 1, 0);
+    }
+    buckets_[bucket] += count;
+  }
+
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  Nanos bucket_width() const { return width_; }
+
+ private:
+  Nanos width_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace cheetah::workload
+
+#endif  // SRC_WORKLOAD_STATS_H_

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "src/cluster/topology.h"
+#include "src/common/random.h"
+#include "tests/test_util.h"
+
+namespace cheetah::cluster {
+namespace {
+
+TopologyMap MakeRandomTopology(uint64_t seed) {
+  Rng rng(seed);
+  TopologyMap map;
+  map.view = rng.UniformRange(1, 100);
+  map.pg_count = static_cast<uint32_t>(rng.UniformRange(4, 64));
+  map.replication = static_cast<uint32_t>(rng.UniformRange(1, 3));
+  const int metas = static_cast<int>(rng.UniformRange(1, 6));
+  for (int i = 0; i < metas; ++i) {
+    map.meta_crush.AddItem(100 + i, 1.0 + rng.NextDouble());
+  }
+  const int datas = static_cast<int>(rng.UniformRange(3, 8));
+  PvId pv_id = 1;
+  for (int d = 0; d < datas; ++d) {
+    map.data_servers.push_back(200 + d);
+    for (int p = 0; p < 4; ++p) {
+      PhysicalVolume pv;
+      pv.id = pv_id++;
+      pv.data_server = 200 + d;
+      pv.disk_index = static_cast<uint32_t>(p % 2);
+      pv.healthy = rng.Bernoulli(0.9);
+      map.pvs[pv.id] = pv;
+    }
+  }
+  LvId lv_id = 1;
+  auto pv_it = map.pvs.begin();
+  while (std::distance(pv_it, map.pvs.end()) >= static_cast<int>(map.replication)) {
+    LogicalVolume lv;
+    lv.id = lv_id++;
+    for (uint32_t r = 0; r < map.replication; ++r) {
+      lv.replicas.push_back((pv_it++)->first);
+    }
+    lv.writable = rng.Bernoulli(0.8);
+    lv.capacity_bytes = MiB(rng.UniformRange(16, 512));
+    lv.block_size = 4096;
+    map.lvs[lv.id] = lv;
+  }
+  PgId pg = 0;
+  for (const auto& [id, lv] : map.lvs) {
+    map.vgs[pg % map.pg_count].push_back(id);
+    ++pg;
+  }
+  return map;
+}
+
+class TopologySerializeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TopologySerializeProperty, RoundTripIsLossless) {
+  TopologyMap map = MakeRandomTopology(GetParam());
+  auto restored = TopologyMap::Deserialize(map.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->view, map.view);
+  EXPECT_EQ(restored->pg_count, map.pg_count);
+  EXPECT_EQ(restored->replication, map.replication);
+  EXPECT_EQ(restored->data_servers, map.data_servers);
+  ASSERT_EQ(restored->pvs.size(), map.pvs.size());
+  for (const auto& [id, pv] : map.pvs) {
+    const PhysicalVolume* r = restored->FindPv(id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->data_server, pv.data_server);
+    EXPECT_EQ(r->disk_index, pv.disk_index);
+    EXPECT_EQ(r->healthy, pv.healthy);
+  }
+  ASSERT_EQ(restored->lvs.size(), map.lvs.size());
+  for (const auto& [id, lv] : map.lvs) {
+    const LogicalVolume* r = restored->FindLv(id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->replicas, lv.replicas);
+    EXPECT_EQ(r->writable, lv.writable);
+    EXPECT_EQ(r->capacity_bytes, lv.capacity_bytes);
+    EXPECT_EQ(r->block_size, lv.block_size);
+  }
+  EXPECT_EQ(restored->vgs, map.vgs);
+  // And the CRUSH mapping computes identically after the round trip.
+  for (PgId pg = 0; pg < map.pg_count; ++pg) {
+    EXPECT_EQ(restored->MetaServersOf(pg), map.MetaServersOf(pg)) << "pg " << pg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologySerializeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(TopologyTest, DeserializeRejectsCorruption) {
+  TopologyMap map = MakeRandomTopology(42);
+  std::string data = map.Serialize();
+  data[data.size() / 2] ^= 0x40;
+  EXPECT_FALSE(TopologyMap::Deserialize(data).ok());
+  EXPECT_FALSE(TopologyMap::Deserialize("").ok());
+  EXPECT_FALSE(TopologyMap::Deserialize("garbage").ok());
+}
+
+TEST(TopologyTest, PgsOfIsConsistentWithMetaServersOf) {
+  TopologyMap map = MakeRandomTopology(7);
+  for (const auto& item : map.meta_crush.items()) {
+    const auto node = static_cast<sim::NodeId>(item.id);
+    auto pgs = map.PgsOf(node);
+    for (PgId pg : pgs) {
+      auto servers = map.MetaServersOf(pg);
+      EXPECT_TRUE(std::find(servers.begin(), servers.end(), node) != servers.end());
+    }
+    // And PGs not in the list genuinely exclude the node.
+    std::set<PgId> in(pgs.begin(), pgs.end());
+    for (PgId pg = 0; pg < map.pg_count; ++pg) {
+      if (!in.contains(pg)) {
+        auto servers = map.MetaServersOf(pg);
+        EXPECT_TRUE(std::find(servers.begin(), servers.end(), node) == servers.end());
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, PrimaryIsFirstOfReplicaSet) {
+  TopologyMap map = MakeRandomTopology(11);
+  for (PgId pg = 0; pg < map.pg_count; ++pg) {
+    auto servers = map.MetaServersOf(pg);
+    ASSERT_FALSE(servers.empty());
+    EXPECT_EQ(map.PrimaryOf(pg), servers[0]);
+    auto primaries = map.PrimaryPgsOf(servers[0]);
+    EXPECT_TRUE(std::find(primaries.begin(), primaries.end(), pg) != primaries.end());
+  }
+}
+
+TEST(TopologyTest, EmptyCrushPrimaryIsInvalid) {
+  TopologyMap map;
+  map.pg_count = 4;
+  EXPECT_EQ(map.PrimaryOf(0), sim::kInvalidNode);
+}
+
+}  // namespace
+}  // namespace cheetah::cluster

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "src/core/metax.h"
+
+namespace cheetah::core {
+namespace {
+
+TEST(MetaXKeysTest, Table1KeyShapes) {
+  EXPECT_EQ(ObMetaKey(3, "photo.jpg"), "OBMETA_00000003_photo.jpg");
+  EXPECT_EQ(PgLogKey(3, 7), "PGLOG_00000003_0000000000000007");
+  EXPECT_EQ(PxLogKey(2, 9), "PXLOG_00000002_0000000000000009");
+}
+
+TEST(MetaXKeysTest, PgLogKeysSortByOpseq) {
+  EXPECT_LT(PgLogKey(1, 5), PgLogKey(1, 6));
+  EXPECT_LT(PgLogKey(1, 9), PgLogKey(1, 10));  // hex padding keeps order
+  EXPECT_LT(PgLogKey(1, 0xff), PgLogKey(1, 0x100));
+}
+
+TEST(MetaXKeysTest, PrefixesIsolatePgs) {
+  EXPECT_TRUE(ObMetaKey(7, "x").starts_with(ObMetaPrefix(7)));
+  EXPECT_FALSE(ObMetaKey(8, "x").starts_with(ObMetaPrefix(7)));
+  EXPECT_TRUE(PgLogKey(7, 1).starts_with(PgLogPrefix(7)));
+  EXPECT_TRUE(PxLogKey(4, 1).starts_with(PxLogPrefix(4)));
+}
+
+TEST(MetaXKeysTest, ParsePgLogKeyRoundTrip) {
+  cluster::PgId pg = 0;
+  uint64_t opseq = 0;
+  ASSERT_TRUE(ParsePgLogKey(PgLogKey(42, 77), &pg, &opseq));
+  EXPECT_EQ(pg, 42u);
+  EXPECT_EQ(opseq, 77u);
+  EXPECT_FALSE(ParsePgLogKey("OBMETA_00000001_x", &pg, &opseq));
+  EXPECT_FALSE(ParsePgLogKey("PGLOG_zzz", &pg, &opseq));
+}
+
+TEST(MetaXKeysTest, ParseObMetaKeyRoundTrip) {
+  cluster::PgId pg = 0;
+  std::string name;
+  ASSERT_TRUE(ParseObMetaKey(ObMetaKey(9, "obj/with_underscores"), &pg, &name));
+  EXPECT_EQ(pg, 9u);
+  EXPECT_EQ(name, "obj/with_underscores");
+}
+
+TEST(MetaXKeysTest, ParsePxLogKeyRoundTrip) {
+  uint32_t px = 0;
+  ReqId reqid = 0;
+  ASSERT_TRUE(ParsePxLogKey(PxLogKey(5, 0xdeadbeefull), &px, &reqid));
+  EXPECT_EQ(px, 5u);
+  EXPECT_EQ(reqid, 0xdeadbeefull);
+}
+
+TEST(MetaXValuesTest, ObMetaRoundTrip) {
+  ObMeta m;
+  m.lvid = 12;
+  m.extents = {{100, 4}, {500, 2}};
+  m.checksum = 0xabcdef01;
+  m.size = 24000;
+  auto decoded = ObMeta::Decode(m.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->lvid, 12u);
+  EXPECT_EQ(decoded->extents, m.extents);
+  EXPECT_EQ(decoded->checksum, m.checksum);
+  EXPECT_EQ(decoded->size, m.size);
+}
+
+TEST(MetaXValuesTest, ObMetaRejectsGarbage) {
+  EXPECT_FALSE(ObMeta::Decode("").ok());
+  EXPECT_FALSE(ObMeta::Decode("\xff\xff\xff").ok());
+}
+
+TEST(MetaXValuesTest, PgLogAndPxLogRoundTrip) {
+  PgLog pglog;
+  pglog.name = "object-1";
+  pglog.pxlogkey = PxLogKey(1, 2);
+  auto d1 = PgLog::Decode(pglog.Encode());
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->name, "object-1");
+  EXPECT_EQ(d1->pxlogkey, pglog.pxlogkey);
+
+  PxLog pxlog;
+  pxlog.name = "object-1";
+  pxlog.pglogkey = PgLogKey(3, 4);
+  auto d2 = PxLog::Decode(pxlog.Encode());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->pglogkey, pxlog.pglogkey);
+}
+
+TEST(MetaXValuesTest, ExtentBytes) {
+  std::vector<alloc::Extent> extents = {{0, 3}, {10, 1}};
+  EXPECT_EQ(ExtentBytes(extents, 4096), 4u * 4096u);
+}
+
+}  // namespace
+}  // namespace cheetah::core

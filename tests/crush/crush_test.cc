@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/crush/crush.h"
+
+namespace cheetah::crush {
+namespace {
+
+constexpr uint32_t kPgCount = 256;
+
+Map MakeMap(int n) {
+  Map map;
+  for (int i = 0; i < n; ++i) {
+    map.AddItem(100 + i);
+  }
+  return map;
+}
+
+TEST(CrushTest, Deterministic) {
+  Map a = MakeMap(9);
+  Map b = MakeMap(9);
+  for (uint32_t pg = 0; pg < kPgCount; ++pg) {
+    EXPECT_EQ(a.Select(pg, 3), b.Select(pg, 3));
+  }
+}
+
+TEST(CrushTest, SelectsDistinctItems) {
+  Map map = MakeMap(9);
+  for (uint32_t pg = 0; pg < kPgCount; ++pg) {
+    auto sel = map.Select(pg, 3);
+    ASSERT_EQ(sel.size(), 3u);
+    std::set<ItemId> unique(sel.begin(), sel.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(CrushTest, SelectCappedByMapSize) {
+  Map map = MakeMap(2);
+  auto sel = map.Select(7, 3);
+  EXPECT_EQ(sel.size(), 2u);
+}
+
+TEST(CrushTest, PrimaryIsFirstSelected) {
+  Map map = MakeMap(6);
+  for (uint32_t pg = 0; pg < 64; ++pg) {
+    EXPECT_EQ(map.Primary(pg), map.Select(pg, 3)[0]);
+  }
+}
+
+TEST(CrushTest, LoadIsRoughlyBalanced) {
+  Map map = MakeMap(9);
+  std::map<ItemId, int> primary_count;
+  for (uint32_t pg = 0; pg < 4096; ++pg) {
+    primary_count[map.Primary(pg)]++;
+  }
+  const double expected = 4096.0 / 9.0;
+  for (const auto& [id, count] : primary_count) {
+    EXPECT_GT(count, expected * 0.6) << "item " << id;
+    EXPECT_LT(count, expected * 1.4) << "item " << id;
+  }
+}
+
+TEST(CrushTest, WeightsSkewLoad) {
+  Map map;
+  map.AddItem(1, 1.0);
+  map.AddItem(2, 1.0);
+  map.AddItem(3, 3.0);  // 3x the capacity
+  std::map<ItemId, int> count;
+  for (uint32_t pg = 0; pg < 8192; ++pg) {
+    count[map.Primary(pg)]++;
+  }
+  EXPECT_GT(count[3], count[1] * 2);
+  EXPECT_GT(count[3], count[2] * 2);
+}
+
+TEST(CrushTest, MinimalRemapOnExpansion) {
+  // The property §4.2 relies on: adding a meta server remaps ~1/n of PGs and
+  // never shuffles PGs between pre-existing servers.
+  Map before = MakeMap(9);
+  Map after = MakeMap(9);
+  after.AddItem(200);
+  int moved = 0;
+  for (uint32_t pg = 0; pg < 4096; ++pg) {
+    const ItemId p_before = before.Primary(pg);
+    const ItemId p_after = after.Primary(pg);
+    if (p_before != p_after) {
+      ++moved;
+      EXPECT_EQ(p_after, 200u) << "pg " << pg << " moved between old servers";
+    }
+  }
+  const double frac = moved / 4096.0;
+  EXPECT_GT(frac, 0.04);  // ~1/10 expected
+  EXPECT_LT(frac, 0.17);
+}
+
+TEST(CrushTest, MinimalRemapOnRemoval) {
+  Map before = MakeMap(9);
+  Map after = MakeMap(9);
+  after.RemoveItem(104);
+  for (uint32_t pg = 0; pg < 4096; ++pg) {
+    if (before.Primary(pg) != 104) {
+      EXPECT_EQ(after.Primary(pg), before.Primary(pg)) << "pg " << pg;
+    } else {
+      EXPECT_NE(after.Primary(pg), 104u);
+    }
+  }
+}
+
+TEST(CrushTest, ReplicaSetsStableUnderExpansion) {
+  Map before = MakeMap(9);
+  Map after = MakeMap(9);
+  after.AddItem(200);
+  int replica_changes = 0;
+  for (uint32_t pg = 0; pg < 1024; ++pg) {
+    auto b = before.Select(pg, 3);
+    auto a = after.Select(pg, 3);
+    std::set<ItemId> sb(b.begin(), b.end()), sa(a.begin(), a.end());
+    std::vector<ItemId> diff;
+    std::set_difference(sb.begin(), sb.end(), sa.begin(), sa.end(),
+                        std::back_inserter(diff));
+    replica_changes += diff.size();
+    EXPECT_LE(diff.size(), 1u) << "pg " << pg;  // at most one member displaced
+  }
+  EXPECT_LT(replica_changes / (1024.0 * 3), 0.2);
+}
+
+TEST(CrushTest, NameToPgStable) {
+  EXPECT_EQ(Map::NameToPg("object-42", 200), Map::NameToPg("object-42", 200));
+  std::set<uint32_t> pgs;
+  for (int i = 0; i < 1000; ++i) {
+    pgs.insert(Map::NameToPg("object-" + std::to_string(i), 200));
+  }
+  EXPECT_GT(pgs.size(), 150u);  // names spread over most PGs
+}
+
+TEST(CrushTest, EpochAdvancesOnMutation) {
+  Map map = MakeMap(3);
+  const uint64_t e = map.epoch();
+  map.AddItem(999);
+  EXPECT_GT(map.epoch(), e);
+  map.RemoveItem(999);
+  EXPECT_GT(map.epoch(), e + 1);
+}
+
+}  // namespace
+}  // namespace cheetah::crush

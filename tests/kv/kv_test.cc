@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/units.h"
+#include "src/kv/db.h"
+#include "src/sim/actor.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/storage.h"
+
+namespace cheetah::kv {
+namespace {
+
+using sim::Actor;
+using sim::EventLoop;
+using sim::Storage;
+using sim::Task;
+
+class KvTest : public ::testing::Test {
+ public:
+  KvTest() : actor_(loop_), storage_(loop_, sim::DiskParams{}) {}
+
+  // Runs a coroutine against a DB opened with `options` and drains the loop.
+  void Run(Options options, std::function<Task<>(DB*)> body) {
+    actor_.Spawn([](KvTest* self, Options opts, std::function<Task<>(DB*)> body) -> Task<> {
+      auto db = co_await DB::Open(std::move(opts), &self->storage_);
+      CO_ASSERT_OK(db);
+      self->db_ = std::move(*db);
+      co_await body(self->db_.get());
+    }(this, std::move(options), std::move(body)));
+    loop_.Run();
+  }
+
+  Options SmallOptions() {
+    Options o;
+    o.memtable_bytes = 4096;  // flush often
+    o.l0_compaction_trigger = 3;
+    return o;
+  }
+
+  EventLoop loop_;
+  Actor actor_;
+  Storage storage_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(KvTest, PutGetRoundTrip) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    EXPECT_TRUE((co_await db->Put("k1", "v1")).ok());
+    auto v = co_await db->Get("k1");
+    CO_ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "v1");
+  });
+}
+
+TEST_F(KvTest, GetMissingIsNotFound) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    auto v = co_await db->Get("nope");
+    EXPECT_TRUE(v.status().IsNotFound());
+  });
+}
+
+TEST_F(KvTest, DeleteHidesKey) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    (void)co_await db->Put("k", "v");
+    (void)co_await db->Delete("k");
+    auto v = co_await db->Get("k");
+    EXPECT_TRUE(v.status().IsNotFound());
+  });
+}
+
+TEST_F(KvTest, OverwriteTakesLatest) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    (void)co_await db->Put("k", "v1");
+    (void)co_await db->Put("k", "v2");
+    auto v = co_await db->Get("k");
+    CO_ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "v2");
+  });
+}
+
+TEST_F(KvTest, BatchIsAtomicInMemory) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    WriteBatch batch;
+    batch.Put("a", "1");
+    batch.Put("b", "2");
+    batch.Delete("c");
+    (void)co_await db->Put("c", "preexisting");
+    EXPECT_TRUE((co_await db->Write(std::move(batch))).ok());
+    EXPECT_EQ((co_await db->Get("a")).value_or("X"), "1");
+    EXPECT_EQ((co_await db->Get("b")).value_or("X"), "2");
+    EXPECT_TRUE((co_await db->Get("c")).status().IsNotFound());
+  });
+}
+
+TEST_F(KvTest, FlushAndReadFromTables) {
+  Run(SmallOptions(), [](DB* db) -> Task<> {
+    for (int i = 0; i < 100; ++i) {
+      (void)co_await db->Put("key" + std::to_string(i), std::string(100, 'v'));
+    }
+    co_await db->WaitForMaintenance();
+    EXPECT_GT(db->stats().flushes, 0u);
+    for (int i = 0; i < 100; ++i) {
+      auto v = co_await db->Get("key" + std::to_string(i));
+      CO_ASSERT_TRUE(v.ok());
+      EXPECT_EQ(v->size(), 100u);
+    }
+  });
+}
+
+TEST_F(KvTest, CompactionPreservesData) {
+  Run(SmallOptions(), [](DB* db) -> Task<> {
+    for (int i = 0; i < 400; ++i) {
+      (void)co_await db->Put("key" + std::to_string(i % 50), "gen" + std::to_string(i));
+    }
+    co_await db->WaitForMaintenance();
+    EXPECT_GT(db->stats().compactions, 0u);
+    for (int i = 0; i < 50; ++i) {
+      auto v = co_await db->Get("key" + std::to_string(i));
+      CO_ASSERT_TRUE(v.ok());
+      EXPECT_EQ(*v, "gen" + std::to_string(350 + i));
+    }
+  });
+}
+
+TEST_F(KvTest, CompactionDropsDeletedKeys) {
+  Run(SmallOptions(), [](DB* db) -> Task<> {
+    for (int i = 0; i < 100; ++i) {
+      (void)co_await db->Put("key" + std::to_string(i), std::string(100, 'v'));
+    }
+    for (int i = 0; i < 100; ++i) {
+      (void)co_await db->Delete("key" + std::to_string(i));
+    }
+    for (int i = 0; i < 200; ++i) {  // force flush+compaction cycles
+      (void)co_await db->Put("other" + std::to_string(i), std::string(100, 'w'));
+    }
+    co_await db->WaitForMaintenance();
+    EXPECT_EQ(db->CountLiveEntries(), 200u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE((co_await db->Get("key" + std::to_string(i))).status().IsNotFound());
+    }
+  });
+}
+
+TEST_F(KvTest, ScanByPrefix) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    (void)co_await db->Put("OBMETA_obj1", "m1");
+    (void)co_await db->Put("OBMETA_obj2", "m2");
+    (void)co_await db->Put("PGLOG_1_1", "l1");
+    (void)co_await db->Put("OBMETA_obj3", "m3");
+    (void)co_await db->Delete("OBMETA_obj2");
+    auto rows = co_await db->Scan("OBMETA_", 0);
+    CO_ASSERT_TRUE(rows.ok());
+    CO_ASSERT_EQ(rows->size(), 2u);
+    EXPECT_EQ((*rows)[0].first, "OBMETA_obj1");
+    EXPECT_EQ((*rows)[1].first, "OBMETA_obj3");
+  });
+}
+
+TEST_F(KvTest, ScanSpansMemtableAndTables) {
+  Run(SmallOptions(), [](DB* db) -> Task<> {
+    for (int i = 0; i < 60; ++i) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "p_%03d", i);
+      (void)co_await db->Put(buf, std::string(100, 'v'));
+    }
+    co_await db->WaitForMaintenance();
+    for (int i = 60; i < 70; ++i) {  // these stay in the memtable
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "p_%03d", i);
+      (void)co_await db->Put(buf, "fresh");
+    }
+    auto rows = co_await db->Scan("p_", 0);
+    CO_ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 70u);
+  });
+}
+
+TEST_F(KvTest, ScanLimit) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    for (int i = 0; i < 20; ++i) {
+      (void)co_await db->Put("k" + std::to_string(i), "v");
+    }
+    auto rows = co_await db->Scan("k", 5);
+    CO_ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 5u);
+  });
+}
+
+TEST_F(KvTest, ReopenRecoversFromWal) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    (void)co_await db->Put("persist1", "v1");
+    (void)co_await db->Put("persist2", "v2");
+  });
+  db_.reset();
+  Run(Options{}, [](DB* db) -> Task<> {
+    EXPECT_EQ((co_await db->Get("persist1")).value_or("X"), "v1");
+    EXPECT_EQ((co_await db->Get("persist2")).value_or("X"), "v2");
+  });
+}
+
+TEST_F(KvTest, ReopenRecoversFromTablesAndWal) {
+  Run(SmallOptions(), [](DB* db) -> Task<> {
+    for (int i = 0; i < 150; ++i) {
+      (void)co_await db->Put("key" + std::to_string(i), "val" + std::to_string(i));
+    }
+    co_await db->WaitForMaintenance();
+  });
+  db_.reset();
+  Run(SmallOptions(), [](DB* db) -> Task<> {
+    for (int i = 0; i < 150; ++i) {
+      EXPECT_EQ((co_await db->Get("key" + std::to_string(i))).value_or("X"),
+                "val" + std::to_string(i));
+    }
+  });
+}
+
+TEST_F(KvTest, PowerLossKeepsSyncedWrites) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    (void)co_await db->Put("durable", "yes");
+  });
+  db_.reset();
+  storage_.PowerLoss();
+  Run(Options{}, [](DB* db) -> Task<> {
+    EXPECT_EQ((co_await db->Get("durable")).value_or("X"), "yes");
+  });
+}
+
+TEST_F(KvTest, PowerLossDropsUnsyncedWrites) {
+  Options nosync;
+  nosync.sync_wal = false;
+  Run(nosync, [](DB* db) -> Task<> {
+    (void)co_await db->Put("volatile", "maybe");
+  });
+  db_.reset();
+  storage_.PowerLoss();
+  Run(Options{}, [](DB* db) -> Task<> {
+    EXPECT_TRUE((co_await db->Get("volatile")).status().IsNotFound());
+  });
+}
+
+TEST_F(KvTest, PowerLossPreservesBatchAtomicity) {
+  // Write batches, kill power at a random instant mid-traffic, reopen, and
+  // verify each batch is all-or-nothing.
+  Options options;
+  options.memtable_bytes = 8192;
+  actor_.Spawn([](KvTest* self, Options opts) -> Task<> {
+    auto db = co_await DB::Open(std::move(opts), &self->storage_);
+    CO_ASSERT_OK(db);
+    self->db_ = std::move(*db);
+    for (int b = 0; b < 50; ++b) {
+      WriteBatch batch;
+      batch.Put("batch" + std::to_string(b) + "_a", std::to_string(b));
+      batch.Put("batch" + std::to_string(b) + "_b", std::to_string(b));
+      (void)co_await self->db_->Write(std::move(batch));
+    }
+  }(this, options));
+  loop_.RunFor(Millis(2));  // cut power mid-stream
+  db_.reset();
+  actor_.Kill();
+  storage_.PowerLoss();
+  actor_.Revive();
+
+  Run(Options{}, [](DB* db) -> Task<> {
+    for (int b = 0; b < 50; ++b) {
+      auto a = co_await db->Get("batch" + std::to_string(b) + "_a");
+      auto bb = co_await db->Get("batch" + std::to_string(b) + "_b");
+      EXPECT_EQ(a.ok(), bb.ok()) << "torn batch " << b;
+      if (a.ok()) {
+        EXPECT_EQ(*a, std::to_string(b));
+        EXPECT_EQ(*bb, std::to_string(b));
+      }
+    }
+  });
+}
+
+TEST_F(KvTest, CrashDuringFlushLosesNothing) {
+  Options options = SmallOptions();
+  actor_.Spawn([](KvTest* self, Options opts) -> Task<> {
+    auto db = co_await DB::Open(std::move(opts), &self->storage_);
+    CO_ASSERT_OK(db);
+    self->db_ = std::move(*db);
+    for (int i = 0; i < 300; ++i) {
+      (void)co_await self->db_->Put("k" + std::to_string(i), std::string(80, 'x'));
+    }
+  }(this, options));
+  // Stop at an arbitrary point where flushes/compactions are in flight.
+  loop_.RunFor(Millis(5));
+  const uint64_t live_before = db_ ? db_->CountLiveEntries() : 0;
+  db_.reset();
+  actor_.Kill();
+  storage_.PowerLoss();
+  actor_.Revive();
+
+  Run(SmallOptions(), [live_before](DB* db) -> Task<> {
+    EXPECT_GE(db->CountLiveEntries(), live_before);
+    co_return;
+  });
+}
+
+TEST_F(KvTest, ConcurrentWritersAllLand) {
+  Run(SmallOptions(), [this](DB* db) -> Task<> {
+    sim::Actor* actor = co_await sim::CurrentActor{};
+    auto latch = std::make_shared<sim::Latch>(10);
+    for (int w = 0; w < 10; ++w) {
+      actor->Spawn([](DB* db, int w, std::shared_ptr<sim::Latch> l) -> Task<> {
+        for (int i = 0; i < 30; ++i) {
+          (void)co_await db->Put("w" + std::to_string(w) + "_" + std::to_string(i),
+                                 std::string(64, 'd'));
+        }
+        l->CountDown();
+      }(db, w, latch));
+    }
+    co_await latch->Wait();
+    co_await db->WaitForMaintenance();
+    EXPECT_EQ(db->CountLiveEntries(), 300u);
+  });
+}
+
+TEST_F(KvTest, StatsTrackActivity) {
+  Run(SmallOptions(), [](DB* db) -> Task<> {
+    for (int i = 0; i < 200; ++i) {
+      (void)co_await db->Put("k" + std::to_string(i), std::string(100, 'v'));
+    }
+    (void)co_await db->Get("k0");
+    co_await db->WaitForMaintenance();
+    EXPECT_EQ(db->stats().writes, 200u);
+    EXPECT_GE(db->stats().gets, 1u);
+    EXPECT_GT(db->stats().flushes, 0u);
+    EXPECT_GT(db->stats().wal_bytes, 0u);
+  });
+}
+
+TEST_F(KvTest, SmallerBufferFlushesMoreOften) {
+  uint64_t flushes_small = 0;
+  {
+    Options o;
+    o.memtable_bytes = 2048;
+    Run(o, [&flushes_small](DB* db) -> Task<> {
+      for (int i = 0; i < 100; ++i) {
+        (void)co_await db->Put("k" + std::to_string(i), std::string(100, 'v'));
+      }
+      co_await db->WaitForMaintenance();
+      flushes_small = db->stats().flushes;
+    });
+  }
+  // Fresh storage for an independent run.
+  EventLoop loop2;
+  Actor actor2(loop2);
+  Storage storage2(loop2, sim::DiskParams{});
+  uint64_t flushes_large = 0;
+  actor2.Spawn([](Storage* st, uint64_t* out) -> Task<> {
+    Options o;
+    o.memtable_bytes = MiB(64);
+    auto db = co_await DB::Open(std::move(o), st);
+    CO_ASSERT_OK(db);
+    for (int i = 0; i < 100; ++i) {
+      (void)co_await (*db)->Put("k" + std::to_string(i), std::string(100, 'v'));
+    }
+    co_await (*db)->WaitForMaintenance();
+    *out = (*db)->stats().flushes;
+  }(&storage2, &flushes_large));
+  loop2.Run();
+  EXPECT_GT(flushes_small, flushes_large);
+}
+
+class WriteBatchTest : public ::testing::Test {};
+
+TEST_F(WriteBatchTest, EncodeDecodeRoundTrip) {
+  WriteBatch batch;
+  batch.Put("key1", "value1");
+  batch.Delete("key2");
+  batch.Put("key3", std::string(1000, 'z'));
+  auto decoded = WriteBatch::Decode(batch.Encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ(decoded->ops()[0].key, "key1");
+  EXPECT_EQ(*decoded->ops()[0].value, "value1");
+  EXPECT_EQ(decoded->ops()[1].key, "key2");
+  EXPECT_FALSE(decoded->ops()[1].value.has_value());
+  EXPECT_EQ(decoded->ops()[2].value->size(), 1000u);
+}
+
+TEST_F(WriteBatchTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(WriteBatch::Decode("\x05garbage").ok());
+}
+
+TEST_F(WriteBatchTest, DecodeRejectsTruncation) {
+  WriteBatch batch;
+  batch.Put("key", "value");
+  std::string enc = batch.Encode();
+  enc.resize(enc.size() - 3);
+  EXPECT_FALSE(WriteBatch::Decode(enc).ok());
+}
+
+TEST_F(WriteBatchTest, ByteSizeGrowsWithContent) {
+  WriteBatch a, b;
+  a.Put("k", "v");
+  b.Put("k", std::string(4096, 'v'));
+  EXPECT_GT(b.ByteSize(), a.ByteSize());
+}
+
+class TableTest : public ::testing::Test {};
+
+TEST_F(TableTest, EncodeDecodeRoundTrip) {
+  std::vector<Table::Entry> entries;
+  entries.push_back({"alpha", "1"});
+  entries.push_back({"beta", std::nullopt});
+  entries.push_back({"gamma", "3"});
+  Table t("sst_test", entries);
+  auto decoded = Table::DecodeEntries(t.Encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[1].key, "beta");
+  EXPECT_FALSE((*decoded)[1].value.has_value());
+}
+
+TEST_F(TableTest, DecodeRejectsCorruption) {
+  std::vector<Table::Entry> entries = {{"k", "v"}};
+  Table t("sst", entries);
+  std::string enc = t.Encode();
+  enc[enc.size() / 2] ^= 0x40;
+  EXPECT_FALSE(Table::DecodeEntries(enc).ok());
+}
+
+TEST_F(TableTest, FindAndRange) {
+  std::vector<Table::Entry> entries = {
+      {"a_1", "1"}, {"a_2", "2"}, {"b_1", "3"}, {"b_2", "4"}};
+  Table t("sst", entries);
+  EXPECT_NE(t.Find("a_2"), nullptr);
+  EXPECT_EQ(t.Find("a_3"), nullptr);
+  EXPECT_TRUE(t.MayContain("a_5"));
+  EXPECT_FALSE(t.MayContain("zz"));
+  EXPECT_EQ(t.PrefixRange("b_").size(), 2u);
+  EXPECT_EQ(t.PrefixRange("c_").size(), 0u);
+}
+
+}  // namespace
+}  // namespace cheetah::kv

@@ -1,0 +1,255 @@
+// Parameterized property sweeps: each suite states an invariant and checks
+// it across a grid of configurations and seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/alloc/bitmap_allocator.h"
+#include "src/common/random.h"
+#include "src/crush/crush.h"
+#include "src/kv/db.h"
+#include "src/sim/actor.h"
+#include "src/sim/event_loop.h"
+#include "tests/test_util.h"
+
+namespace cheetah {
+namespace {
+
+// ---- Allocator: no double allocation, exact accounting, full reuse ----
+
+struct AllocParam {
+  uint64_t total_blocks;
+  uint32_t block_size;
+  uint64_t seed;
+};
+
+class AllocatorProperty : public ::testing::TestWithParam<AllocParam> {};
+
+TEST_P(AllocatorProperty, NeverDoubleAllocatesAndFullyReuses) {
+  const AllocParam p = GetParam();
+  alloc::BitmapAllocator allocator(p.total_blocks, p.block_size);
+  Rng rng(p.seed);
+  std::set<uint64_t> owned;
+  std::vector<std::vector<alloc::Extent>> live;
+  for (int round = 0; round < 500; ++round) {
+    if (rng.Bernoulli(0.55) || live.empty()) {
+      const uint64_t bytes = rng.UniformRange(1, 12 * p.block_size);
+      auto extents = allocator.Allocate(bytes);
+      if (!extents.ok()) {
+        continue;  // full is fine; corruption is not
+      }
+      uint64_t got_blocks = 0;
+      for (const auto& e : *extents) {
+        got_blocks += e.count;
+        for (uint64_t b = e.block; b < e.block + e.count; ++b) {
+          ASSERT_LT(b, p.total_blocks);
+          ASSERT_TRUE(owned.insert(b).second) << "double allocation of block " << b;
+        }
+      }
+      ASSERT_GE(got_blocks * p.block_size, bytes);
+      live.push_back(std::move(*extents));
+    } else {
+      const size_t victim = rng.Uniform(live.size());
+      for (const auto& e : live[victim]) {
+        for (uint64_t b = e.block; b < e.block + e.count; ++b) {
+          owned.erase(b);
+        }
+      }
+      allocator.Free(live[victim]);
+      live.erase(live.begin() + victim);
+    }
+    ASSERT_EQ(allocator.used_blocks(), owned.size());
+  }
+  // Free everything: the allocator must be able to hand out one max run.
+  for (const auto& extents : live) {
+    allocator.Free(extents);
+  }
+  EXPECT_EQ(allocator.free_blocks(), p.total_blocks);
+  EXPECT_TRUE(allocator.Allocate(p.total_blocks * p.block_size).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllocatorProperty,
+    ::testing::Values(AllocParam{64, 4096, 1}, AllocParam{256, 4096, 2},
+                      AllocParam{1024, 512, 3}, AllocParam{1024, 65536, 4},
+                      AllocParam{4096, 4096, 5}, AllocParam{100, 4096, 6},
+                      AllocParam{333, 8192, 7}, AllocParam{2048, 4096, 8}));
+
+class AllocatorSerializeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocatorSerializeProperty, RoundTripPreservesEveryBit) {
+  Rng rng(GetParam());
+  alloc::BitmapAllocator allocator(777, 4096);
+  for (int i = 0; i < 50; ++i) {
+    (void)allocator.Allocate(rng.UniformRange(1, 8) * 4096);
+  }
+  auto restored = alloc::BitmapAllocator::Deserialize(allocator.Serialize());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->total_blocks(), allocator.total_blocks());
+  ASSERT_EQ(restored->used_blocks(), allocator.used_blocks());
+  for (uint64_t b = 0; b < allocator.total_blocks(); ++b) {
+    ASSERT_EQ(restored->IsAllocated(b), allocator.IsAllocated(b)) << "block " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorSerializeProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---- CRUSH: determinism, distinctness, minimal remap across sizes ----
+
+struct CrushParam {
+  int servers;
+  uint32_t replicas;
+};
+
+class CrushProperty : public ::testing::TestWithParam<CrushParam> {};
+
+TEST_P(CrushProperty, DistinctDeterministicMinimalRemap) {
+  const CrushParam p = GetParam();
+  crush::Map map;
+  for (int i = 0; i < p.servers; ++i) {
+    map.AddItem(100 + i);
+  }
+  for (uint32_t pg = 0; pg < 512; ++pg) {
+    auto a = map.Select(pg, p.replicas);
+    auto b = map.Select(pg, p.replicas);
+    ASSERT_EQ(a, b) << "nondeterministic selection for pg " << pg;
+    std::set<crush::ItemId> unique(a.begin(), a.end());
+    ASSERT_EQ(unique.size(), a.size()) << "duplicate replica for pg " << pg;
+    ASSERT_EQ(a.size(), std::min<size_t>(p.replicas, p.servers));
+  }
+  // Adding one server must never shuffle a PG between two old servers.
+  crush::Map bigger = map;
+  bigger.AddItem(999);
+  int moved = 0;
+  for (uint32_t pg = 0; pg < 512; ++pg) {
+    const crush::ItemId before = map.Primary(pg);
+    const crush::ItemId after = bigger.Primary(pg);
+    if (before != after) {
+      ++moved;
+      ASSERT_EQ(after, 999u) << "pg " << pg << " moved between pre-existing servers";
+    }
+  }
+  // Expected movement ~ 512/(n+1); allow a generous band.
+  const double expected = 512.0 / (p.servers + 1);
+  EXPECT_LT(moved, expected * 2.5);
+  if (p.servers < 24) {
+    EXPECT_GT(moved, expected * 0.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrushProperty,
+                         ::testing::Values(CrushParam{3, 3}, CrushParam{4, 3},
+                                           CrushParam{6, 3}, CrushParam{9, 3},
+                                           CrushParam{12, 3}, CrushParam{9, 1},
+                                           CrushParam{9, 5}, CrushParam{30, 3}));
+
+// ---- KV store: acked writes survive any power-loss instant ----
+
+struct KvParam {
+  uint64_t memtable_bytes;
+  int trigger;
+  Nanos cut_after;
+  uint64_t seed;
+};
+
+class KvDurabilityProperty : public ::testing::TestWithParam<KvParam> {};
+
+TEST_P(KvDurabilityProperty, AckedWritesSurvivePowerLoss) {
+  const KvParam p = GetParam();
+  sim::EventLoop loop;
+  sim::Actor actor(loop);
+  sim::Storage storage(loop, sim::DiskParams{});
+
+  // Writer records exactly which keys were acked before the cut.
+  auto acked = std::make_shared<std::map<std::string, std::string>>();
+  auto deleted = std::make_shared<std::set<std::string>>();
+  actor.Spawn([](sim::Storage* storage, kv::Options opts, uint64_t seed,
+                 std::shared_ptr<std::map<std::string, std::string>> acked,
+                 std::shared_ptr<std::set<std::string>> deleted) -> sim::Task<> {
+    auto db = co_await kv::DB::Open(std::move(opts), storage);
+    if (!db.ok()) {
+      co_return;
+    }
+    Rng rng(seed);
+    for (int i = 0; i < 3000; ++i) {
+      const std::string key = "k" + std::to_string(rng.Uniform(400));
+      if (rng.Bernoulli(0.8)) {
+        const std::string value = "v" + std::to_string(i);
+        if ((co_await (*db)->Put(key, value)).ok()) {
+          (*acked)[key] = value;
+          deleted->erase(key);
+        }
+      } else {
+        if ((co_await (*db)->Delete(key)).ok()) {
+          acked->erase(key);
+          deleted->insert(key);
+        }
+      }
+    }
+  }(&storage, [&] {
+      kv::Options o;
+      o.memtable_bytes = p.memtable_bytes;
+      o.l0_compaction_trigger = p.trigger;
+      return o;
+    }(), p.seed, acked, deleted));
+
+  loop.RunFor(p.cut_after);  // power fails mid-stream
+  actor.Kill();
+  storage.PowerLoss();
+  actor.Revive();
+
+  // Reopen and verify every acked write (and no resurrections).
+  auto checked = std::make_shared<bool>(false);
+  actor.Spawn([](sim::Storage* storage,
+                 std::shared_ptr<std::map<std::string, std::string>> acked,
+                 std::shared_ptr<std::set<std::string>> deleted,
+                 std::shared_ptr<bool> checked) -> sim::Task<> {
+    auto db = co_await kv::DB::Open(kv::Options{}, storage);
+    CO_ASSERT_OK(db);
+    for (const auto& [key, value] : *acked) {
+      auto got = co_await (*db)->Get(key);
+      if (!got.ok()) {
+        ADD_FAILURE() << "acked key lost: " << key;
+        continue;
+      }
+      EXPECT_EQ(*got, value) << key;
+    }
+    for (const auto& key : *deleted) {
+      auto got = co_await (*db)->Get(key);
+      EXPECT_TRUE(got.status().IsNotFound()) << "deleted key resurrected: " << key;
+    }
+    *checked = true;
+  }(&storage, acked, deleted, checked));
+  loop.Run();
+  EXPECT_TRUE(*checked);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KvDurabilityProperty,
+    ::testing::Values(KvParam{4096, 3, Millis(3), 1}, KvParam{4096, 3, Millis(11), 2},
+                      KvParam{2048, 2, Millis(7), 3}, KvParam{16384, 4, Millis(5), 4},
+                      KvParam{MiB(64), 4, Millis(9), 5}, KvParam{1024, 1, Millis(13), 6},
+                      KvParam{8192, 2, Millis(2), 7}, KvParam{4096, 3, Millis(40), 8}));
+
+// ---- Deterministic RNG and zipf-free distributions ----
+
+class RngProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngProperty, UniformIsUnbiasedAcrossBuckets) {
+  Rng rng(GetParam());
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    buckets[rng.Uniform(10)]++;
+  }
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b] / static_cast<double>(n), 0.1, 0.01) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngProperty, ::testing::Values(1, 7, 42, 1337, 0xdead));
+
+}  // namespace
+}  // namespace cheetah

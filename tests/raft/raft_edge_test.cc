@@ -1,0 +1,196 @@
+// Raft edge cases: divergent-log repair, vote durability across power loss,
+// term monotonicity, and no-op commit behavior after elections.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/raft/raft.h"
+#include "tests/test_util.h"
+
+namespace cheetah::raft {
+namespace {
+
+using sim::EventLoop;
+using sim::Machine;
+using sim::MachineParams;
+using sim::Network;
+using sim::NodeId;
+using sim::Task;
+
+class Sm : public StateMachine {
+ public:
+  void Apply(uint64_t index, const std::string& command) override {
+    if (!command.empty()) {
+      applied.push_back(command);
+    }
+  }
+  std::vector<std::string> applied;
+};
+
+struct Node {
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<rpc::Node> rpc;
+  std::unique_ptr<Sm> sm;
+  std::unique_ptr<RaftNode> raft;
+};
+
+class EdgeCluster {
+ public:
+  explicit EdgeCluster(int n) : net_(loop_, sim::NetParams{}) {
+    for (int i = 0; i < n; ++i) {
+      config_.members.push_back(static_cast<NodeId>(i + 1));
+    }
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(Make(i, 100 + i));
+    }
+  }
+
+  Node Make(int i, uint64_t seed) {
+    Node node;
+    node.machine = std::make_unique<Machine>(loop_, config_.members[i],
+                                             "r" + std::to_string(i), MachineParams{});
+    node.rpc = std::make_unique<rpc::Node>(*node.machine, net_);
+    node.rpc->Attach();
+    node.sm = std::make_unique<Sm>();
+    node.raft = std::make_unique<RaftNode>(*node.rpc, node.machine->disk(), config_,
+                                           node.sm.get(), seed);
+    node.machine->actor().Spawn([](RaftNode* r) -> Task<> {
+      (void)co_await r->Start();
+    }(node.raft.get()));
+    return node;
+  }
+
+  int WaitForLeader(Nanos budget = Seconds(10)) {
+    const Nanos deadline = loop_.Now() + budget;
+    while (loop_.Now() < deadline) {
+      loop_.RunFor(Millis(50));
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].machine->alive() && nodes_[i].raft->is_leader()) {
+          return static_cast<int>(i);
+        }
+      }
+    }
+    return -1;
+  }
+
+  Result<uint64_t> Propose(int node, std::string cmd) {
+    auto out = std::make_shared<Result<uint64_t>>(Status::Internal("unresolved"));
+    nodes_[node].machine->actor().Spawn(
+        [](RaftNode* r, std::string cmd, std::shared_ptr<Result<uint64_t>> out) -> Task<> {
+          *out = co_await r->Propose(std::move(cmd));
+        }(nodes_[node].raft.get(), std::move(cmd), out));
+    loop_.RunFor(Seconds(1));
+    return *out;
+  }
+
+  void Restart(int i, bool power_loss, uint64_t seed) {
+    if (power_loss) {
+      nodes_[i].machine->PowerFailure();
+    } else {
+      nodes_[i].machine->CrashProcess();
+    }
+    nodes_[i].rpc->Detach();
+    nodes_[i].machine->Restart();
+    nodes_[i].rpc->Attach();
+    nodes_[i].sm = std::make_unique<Sm>();
+    nodes_[i].raft = std::make_unique<RaftNode>(*nodes_[i].rpc, nodes_[i].machine->disk(),
+                                                config_, nodes_[i].sm.get(), seed);
+    nodes_[i].machine->actor().Spawn([](RaftNode* r) -> Task<> {
+      (void)co_await r->Start();
+    }(nodes_[i].raft.get()));
+  }
+
+  EventLoop loop_;
+  Network net_;
+  Config config_;
+  std::vector<Node> nodes_;
+};
+
+TEST(RaftEdgeTest, DivergentFollowerLogIsOverwritten) {
+  EdgeCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  const int isolated = (leader + 1) % 3;
+  const NodeId isolated_id = cluster.config_.members[isolated];
+  // Isolate a follower; the majority commits entries it never sees.
+  for (int i = 0; i < 3; ++i) {
+    if (i != isolated) {
+      cluster.net_.SetPartitioned(isolated_id, cluster.config_.members[i], true);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster.Propose(leader, "majority-" + std::to_string(i)).ok());
+  }
+  // The isolated node campaigns fruitlessly (bumping its term) but appends
+  // nothing. Heal; it must converge on the majority's log.
+  cluster.loop_.RunFor(Seconds(2));
+  cluster.net_.ClearPartitions();
+  cluster.loop_.RunFor(Seconds(3));
+  auto& applied = cluster.nodes_[isolated].sm->applied;
+  ASSERT_EQ(applied.size(), 3u);
+  EXPECT_EQ(applied[0], "majority-0");
+  EXPECT_EQ(applied[2], "majority-2");
+}
+
+TEST(RaftEdgeTest, VoteSurvivesPowerLoss) {
+  // A node that voted in term T must not vote for a different candidate in T
+  // after a power-loss restart (the double-vote safety case).
+  EdgeCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  const uint64_t term_before = cluster.nodes_[leader].raft->current_term();
+  const int follower = (leader + 1) % 3;
+  cluster.Restart(follower, /*power_loss=*/true, 777);
+  cluster.loop_.RunFor(Seconds(2));
+  // The restarted node rejoined with its persisted term (>= the old one).
+  EXPECT_GE(cluster.nodes_[follower].raft->current_term(), term_before);
+  // And the cluster still has exactly one leader whose term did not regress.
+  int leaders = 0;
+  for (auto& n : cluster.nodes_) {
+    leaders += n.raft->is_leader();
+    EXPECT_GE(n.raft->current_term(), term_before);
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(RaftEdgeTest, CommitIndexNeverRegressesAcrossFailover) {
+  EdgeCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.Propose(leader, "entry-" + std::to_string(i)).ok());
+  }
+  const uint64_t committed_before = cluster.nodes_[leader].raft->commit_index();
+  cluster.nodes_[leader].machine->CrashProcess();
+  cluster.nodes_[leader].rpc->Detach();
+  int new_leader = cluster.WaitForLeader();
+  ASSERT_GE(new_leader, 0);
+  ASSERT_NE(new_leader, leader);
+  ASSERT_TRUE(cluster.Propose(new_leader, "post-failover").ok());
+  EXPECT_GE(cluster.nodes_[new_leader].raft->commit_index(), committed_before);
+  // All previously committed entries are in the new leader's applied list.
+  auto& applied = cluster.nodes_[new_leader].sm->applied;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::find(applied.begin(), applied.end(),
+                          "entry-" + std::to_string(i)) != applied.end())
+        << i;
+  }
+}
+
+TEST(RaftEdgeTest, FollowerAppliesThroughLeaderCommitOnly) {
+  EdgeCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  ASSERT_TRUE(cluster.Propose(leader, "visible").ok());
+  cluster.loop_.RunFor(Millis(500));
+  for (int i = 0; i < 3; ++i) {
+    auto& applied = cluster.nodes_[i].sm->applied;
+    ASSERT_EQ(applied.size(), 1u) << "node " << i;
+    EXPECT_EQ(applied[0], "visible");
+  }
+}
+
+}  // namespace
+}  // namespace cheetah::raft

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/raft/raft.h"
+#include "tests/test_util.h"
+
+namespace cheetah::raft {
+namespace {
+
+using sim::EventLoop;
+using sim::Machine;
+using sim::MachineParams;
+using sim::Network;
+using sim::NodeId;
+using sim::Task;
+
+class RecordingSm : public StateMachine {
+ public:
+  void Apply(uint64_t index, const std::string& command) override {
+    EXPECT_GT(index, last_index) << "out-of-order apply";
+    last_index = index;
+    if (!command.empty()) {  // skip leader-election no-ops
+      applied.push_back(command);
+    }
+  }
+  uint64_t last_index = 0;
+  std::vector<std::string> applied;
+};
+
+class RaftCluster {
+ public:
+  explicit RaftCluster(int n, uint64_t seed = 7)
+      : net_(loop_, sim::NetParams{}) {
+    Config config;
+    for (int i = 0; i < n; ++i) {
+      config.members.push_back(static_cast<NodeId>(i + 1));
+    }
+    for (int i = 0; i < n; ++i) {
+      auto node = std::make_unique<NodeBundle>();
+      node->machine =
+          std::make_unique<Machine>(loop_, config.members[i],
+                                    "raft" + std::to_string(i + 1), MachineParams{});
+      node->rpc = std::make_unique<rpc::Node>(*node->machine, net_);
+      node->rpc->Attach();
+      node->sm = std::make_unique<RecordingSm>();
+      node->raft = std::make_unique<RaftNode>(*node->rpc, node->machine->disk(), config,
+                                              node->sm.get(), seed + i);
+      node->machine->actor().Spawn([](RaftNode* r) -> Task<> {
+        Status s = co_await r->Start();
+        EXPECT_TRUE(s.ok());
+      }(node->raft.get()));
+      nodes_.push_back(std::move(node));
+    }
+  }
+
+  // Runs until some node is leader; returns its index or -1.
+  int WaitForLeader(Nanos budget = Seconds(5)) {
+    const Nanos deadline = loop_.Now() + budget;
+    while (loop_.Now() < deadline) {
+      loop_.RunFor(Millis(50));
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i]->machine->alive() && nodes_[i]->raft->is_leader()) {
+          return static_cast<int>(i);
+        }
+      }
+    }
+    return -1;
+  }
+
+  // Proposes via node `leader` and runs until it resolves.
+  Result<uint64_t> Propose(int leader, std::string command) {
+    auto result = std::make_shared<Result<uint64_t>>(Status::Internal("unresolved"));
+    nodes_[leader]->machine->actor().Spawn(
+        [](RaftNode* r, std::string cmd, std::shared_ptr<Result<uint64_t>> out) -> Task<> {
+          *out = co_await r->Propose(std::move(cmd));
+        }(nodes_[leader]->raft.get(), std::move(command), result));
+    loop_.RunFor(Seconds(1));
+    return *result;
+  }
+
+  void Crash(int i, bool power_loss) {
+    if (power_loss) {
+      nodes_[i]->machine->PowerFailure();
+    } else {
+      nodes_[i]->machine->CrashProcess();
+    }
+    nodes_[i]->rpc->Detach();
+  }
+
+  void Restart(int i, uint64_t seed = 99) {
+    nodes_[i]->machine->Restart();
+    nodes_[i]->rpc->Attach();
+    nodes_[i]->sm = std::make_unique<RecordingSm>();
+    Config config;
+    for (size_t m = 0; m < nodes_.size(); ++m) {
+      config.members.push_back(static_cast<NodeId>(m + 1));
+    }
+    nodes_[i]->raft = std::make_unique<RaftNode>(*nodes_[i]->rpc, nodes_[i]->machine->disk(),
+                                                 config, nodes_[i]->sm.get(), seed + i);
+    nodes_[i]->machine->actor().Spawn([](RaftNode* r) -> Task<> {
+      Status s = co_await r->Start();
+      EXPECT_TRUE(s.ok());
+    }(nodes_[i]->raft.get()));
+  }
+
+  struct NodeBundle {
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<rpc::Node> rpc;
+    std::unique_ptr<RecordingSm> sm;
+    std::unique_ptr<RaftNode> raft;
+  };
+
+  EventLoop loop_;
+  Network net_;
+  std::vector<std::unique_ptr<NodeBundle>> nodes_;
+};
+
+TEST(RaftTest, ElectsExactlyOneLeader) {
+  RaftCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  cluster.loop_.RunFor(Millis(500));
+  int leaders = 0;
+  uint64_t leader_term = 0;
+  for (auto& n : cluster.nodes_) {
+    if (n->raft->is_leader()) {
+      ++leaders;
+      leader_term = n->raft->current_term();
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_GE(leader_term, 1u);
+}
+
+TEST(RaftTest, ProposalsReachAllStateMachines) {
+  RaftCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  for (int i = 0; i < 5; ++i) {
+    auto r = cluster.Propose(leader, "cmd" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, static_cast<uint64_t>(i + 2));  // +1 for the election no-op
+  }
+  cluster.loop_.RunFor(Millis(300));  // let followers apply
+  for (auto& n : cluster.nodes_) {
+    ASSERT_EQ(n->sm->applied.size(), 5u);
+    EXPECT_EQ(n->sm->applied[4], "cmd4");
+  }
+}
+
+TEST(RaftTest, ProposeOnFollowerFails) {
+  RaftCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  const int follower = (leader + 1) % 3;
+  auto r = cluster.Propose(follower, "nope");
+  EXPECT_TRUE(r.status().IsUnavailable());
+}
+
+TEST(RaftTest, SurvivesLeaderCrash) {
+  RaftCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  ASSERT_TRUE(cluster.Propose(leader, "before-crash").ok());
+  cluster.Crash(leader, /*power_loss=*/false);
+  int new_leader = cluster.WaitForLeader();
+  ASSERT_GE(new_leader, 0);
+  EXPECT_NE(new_leader, leader);
+  auto r = cluster.Propose(new_leader, "after-crash");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The new leader's state machine has both commands.
+  cluster.loop_.RunFor(Millis(300));
+  auto& applied = cluster.nodes_[new_leader]->sm->applied;
+  ASSERT_GE(applied.size(), 2u);
+  EXPECT_EQ(applied[0], "before-crash");
+  EXPECT_TRUE(std::find(applied.begin(), applied.end(), "after-crash") != applied.end());
+}
+
+TEST(RaftTest, RestartedNodeCatchesUp) {
+  RaftCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  const int victim = (leader + 1) % 3;
+  cluster.Crash(victim, /*power_loss=*/true);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster.Propose(leader, "while-down-" + std::to_string(i)).ok());
+  }
+  cluster.Restart(victim);
+  cluster.loop_.RunFor(Seconds(1));
+  // Note: the restarted node's fresh state machine replays the whole log.
+  EXPECT_GE(cluster.nodes_[victim]->raft->commit_index(), 3u);
+  EXPECT_GE(cluster.nodes_[victim]->sm->applied.size(), 3u);
+}
+
+TEST(RaftTest, NoProgressWithoutMajority) {
+  RaftCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  cluster.Crash((leader + 1) % 3, false);
+  cluster.Crash((leader + 2) % 3, false);
+  auto r = cluster.Propose(leader, "doomed");
+  EXPECT_FALSE(r.ok());  // either lost leadership or commit timeout
+}
+
+TEST(RaftTest, PartitionedLeaderStepsDownAndRejoins) {
+  RaftCluster cluster(3);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  const NodeId leader_id = static_cast<NodeId>(leader + 1);
+  for (int i = 0; i < 3; ++i) {
+    if (i != leader) {
+      cluster.net_.SetPartitioned(leader_id, static_cast<NodeId>(i + 1), true);
+    }
+  }
+  int new_leader = -1;
+  const Nanos deadline = cluster.loop_.Now() + Seconds(5);
+  while (cluster.loop_.Now() < deadline) {
+    cluster.loop_.RunFor(Millis(50));
+    for (int i = 0; i < 3; ++i) {
+      if (i != leader && cluster.nodes_[i]->raft->is_leader()) {
+        new_leader = i;
+        break;
+      }
+    }
+    if (new_leader >= 0) {
+      break;
+    }
+  }
+  ASSERT_GE(new_leader, 0);
+  ASSERT_TRUE(cluster.Propose(new_leader, "majority-side").ok());
+  // Heal the partition; the old leader must step down to the higher term.
+  cluster.net_.ClearPartitions();
+  cluster.loop_.RunFor(Seconds(1));
+  EXPECT_FALSE(cluster.nodes_[leader]->raft->is_leader());
+  EXPECT_GE(cluster.nodes_[leader]->raft->commit_index(), 1u);
+}
+
+TEST(RaftTest, FiveNodeClusterCommits) {
+  RaftCluster cluster(5);
+  int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.Propose(leader, "c" + std::to_string(i)).ok());
+  }
+  cluster.loop_.RunFor(Millis(500));
+  for (auto& n : cluster.nodes_) {
+    EXPECT_EQ(n->sm->applied.size(), 10u);
+  }
+}
+
+TEST(RaftTest, LogsStayConsistentAcrossLeaderChanges) {
+  RaftCluster cluster(3);
+  std::vector<std::string> committed;
+  for (int round = 0; round < 3; ++round) {
+    int leader = cluster.WaitForLeader();
+    ASSERT_GE(leader, 0);
+    auto r = cluster.Propose(leader, "round" + std::to_string(round));
+    if (r.ok()) {
+      committed.push_back("round" + std::to_string(round));
+    }
+    cluster.Crash(leader, false);
+    cluster.loop_.RunFor(Millis(400));
+    cluster.Restart(leader, 1000 + round);
+    cluster.loop_.RunFor(Millis(400));
+  }
+  cluster.loop_.RunFor(Seconds(2));
+  // All alive nodes applied the same prefix containing every committed cmd.
+  int checked = 0;
+  for (auto& n : cluster.nodes_) {
+    if (!n->machine->alive()) {
+      continue;
+    }
+    ++checked;
+    for (const auto& cmd : committed) {
+      EXPECT_TRUE(std::find(n->sm->applied.begin(), n->sm->applied.end(), cmd) !=
+                  n->sm->applied.end())
+          << "missing " << cmd;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace cheetah::raft

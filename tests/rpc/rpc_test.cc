@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/rpc/node.h"
+
+namespace cheetah::rpc {
+namespace {
+
+using sim::EventLoop;
+using sim::Machine;
+using sim::MachineParams;
+using sim::Network;
+using sim::NodeId;
+using sim::Task;
+
+// All message types carry a user-declared constructor so they are not
+// aggregates (see the RpcRequest concept / GCC 12 caution in src/sim/task.h).
+struct EchoReply {
+  EchoReply() = default;
+  explicit EchoReply(std::string t) : text(std::move(t)) {}
+  std::string text;
+  size_t wire_size() const { return text.size() + 8; }
+};
+struct EchoRequest {
+  using Response = EchoReply;
+  EchoRequest() = default;
+  explicit EchoRequest(std::string t) : text(std::move(t)) {}
+  std::string text;
+  size_t wire_size() const { return text.size() + 8; }
+};
+
+struct SlowReply {
+  SlowReply() = default;
+  size_t wire_size() const { return 8; }
+};
+struct SlowRequest {
+  using Response = SlowReply;
+  SlowRequest() = default;
+  explicit SlowRequest(Nanos d) : delay(d) {}
+  Nanos delay = 0;
+  size_t wire_size() const { return 16; }
+};
+
+struct NoteReply {
+  NoteReply() = default;
+  size_t wire_size() const { return 8; }
+};
+struct NoteRequest {
+  using Response = NoteReply;
+  NoteRequest() = default;
+  explicit NoteRequest(int v) : value(v) {}
+  int value = 0;
+  size_t wire_size() const { return 16; }
+};
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest()
+      : net_(loop_, sim::NetParams{}),
+        server_machine_(loop_, 1, "server", MachineParams{}),
+        client_machine_(loop_, 2, "client", MachineParams{}),
+        server_(server_machine_, net_),
+        client_(client_machine_, net_) {
+    server_.Attach();
+    client_.Attach();
+  }
+
+  EventLoop loop_;
+  Network net_;
+  Machine server_machine_;
+  Machine client_machine_;
+  Node server_;
+  Node client_;
+};
+
+TEST_F(RpcTest, RoundTrip) {
+  server_.Serve<EchoRequest>([](NodeId src, EchoRequest req) -> Task<Result<EchoReply>> {
+    co_return EchoReply("echo:" + req.text);
+  });
+  std::string got;
+  client_machine_.actor().Spawn([](Node* c, std::string* out) -> Task<> {
+    auto r = co_await c->Call(1, EchoRequest("hi"), Millis(100));
+    *out = r.ok() ? r->text : r.status().ToString();
+  }(&client_, &got));
+  loop_.Run();
+  EXPECT_EQ(got, "echo:hi");
+}
+
+TEST_F(RpcTest, ErrorStatusPropagates) {
+  server_.Serve<EchoRequest>([](NodeId, EchoRequest) -> Task<Result<EchoReply>> {
+    co_return Status::NotFound("nope");
+  });
+  Status got = Status::Ok();
+  client_machine_.actor().Spawn([](Node* c, Status* out) -> Task<> {
+    auto r = co_await c->Call(1, EchoRequest("x"), Millis(100));
+    *out = r.status();
+  }(&client_, &got));
+  loop_.Run();
+  EXPECT_TRUE(got.IsNotFound());
+}
+
+TEST_F(RpcTest, TimeoutWhenServerDead) {
+  server_.Serve<EchoRequest>([](NodeId, EchoRequest req) -> Task<Result<EchoReply>> {
+    co_return EchoReply(req.text);
+  });
+  server_machine_.CrashProcess();
+  server_.Detach();
+  Status got = Status::Ok();
+  Nanos when = 0;
+  client_machine_.actor().Spawn([](Node* c, sim::Actor* a, Status* out, Nanos* w) -> Task<> {
+    auto r = co_await c->Call(1, EchoRequest("x"), Millis(50));
+    *out = r.status();
+    *w = a->Now();
+  }(&client_, &client_machine_.actor(), &got, &when));
+  loop_.Run();
+  EXPECT_TRUE(got.IsTimeout());
+  EXPECT_EQ(when, Millis(50));
+}
+
+TEST_F(RpcTest, TimeoutWhenHandlerTooSlow) {
+  server_.Serve<SlowRequest>([](NodeId, SlowRequest req) -> Task<Result<SlowReply>> {
+    co_await sim::SleepFor(req.delay);
+    co_return SlowReply{};
+  });
+  Status got = Status::Ok();
+  client_machine_.actor().Spawn([](Node* c, Status* out) -> Task<> {
+    auto r = co_await c->Call(1, SlowRequest(Millis(200)), Millis(20));
+    *out = r.status();
+  }(&client_, &got));
+  loop_.Run();
+  EXPECT_TRUE(got.IsTimeout());
+}
+
+TEST_F(RpcTest, ServerCrashMidHandlerTimesOutCaller) {
+  server_.Serve<SlowRequest>([](NodeId, SlowRequest req) -> Task<Result<SlowReply>> {
+    co_await sim::SleepFor(req.delay);
+    co_return SlowReply{};
+  });
+  Status got = Status::Ok();
+  client_machine_.actor().Spawn([](Node* c, Status* out) -> Task<> {
+    auto r = co_await c->Call(1, SlowRequest(Millis(30)), Millis(100));
+    *out = r.status();
+  }(&client_, &got));
+  loop_.RunUntil(Millis(10));  // handler is mid-sleep
+  server_machine_.CrashProcess();
+  server_.Detach();
+  loop_.Run();
+  EXPECT_TRUE(got.IsTimeout());
+}
+
+TEST_F(RpcTest, NotifyIsFireAndForget) {
+  int received = 0;
+  server_.Serve<NoteRequest>([&](NodeId, NoteRequest req) -> Task<Result<NoteReply>> {
+    received += req.value;
+    co_return NoteReply{};
+  });
+  client_.Notify(1, NoteRequest(5));
+  client_.Notify(1, NoteRequest(7));
+  loop_.Run();
+  EXPECT_EQ(received, 12);
+}
+
+TEST_F(RpcTest, ConcurrentCallsKeepIdentity) {
+  server_.Serve<SlowRequest>([](NodeId, SlowRequest req) -> Task<Result<SlowReply>> {
+    co_await sim::SleepFor(req.delay);
+    co_return SlowReply{};
+  });
+  server_.Serve<EchoRequest>([](NodeId, EchoRequest req) -> Task<Result<EchoReply>> {
+    co_return EchoReply(req.text);
+  });
+  std::string fast_result;
+  Nanos fast_done = 0, slow_done = 0;
+  client_machine_.actor().Spawn([](Node* c, sim::Actor* a, Nanos* out) -> Task<> {
+    (void)co_await c->Call(1, SlowRequest(Millis(50)), Millis(500));
+    *out = a->Now();
+  }(&client_, &client_machine_.actor(), &slow_done));
+  client_machine_.actor().Spawn(
+      [](Node* c, sim::Actor* a, std::string* out, Nanos* t) -> Task<> {
+        auto r = co_await c->Call(1, EchoRequest("fast"), Millis(500));
+        *out = r.ok() ? r->text : "ERR";
+        *t = a->Now();
+      }(&client_, &client_machine_.actor(), &fast_result, &fast_done));
+  loop_.Run();
+  EXPECT_EQ(fast_result, "fast");
+  EXPECT_LT(fast_done, slow_done);  // replies matched to the right callers
+}
+
+TEST_F(RpcTest, RestartedServerServesAgain) {
+  server_.Serve<EchoRequest>([](NodeId, EchoRequest req) -> Task<Result<EchoReply>> {
+    co_return EchoReply("v2:" + req.text);
+  });
+  server_machine_.CrashProcess();
+  server_.Detach();
+  server_machine_.Restart();
+  server_.Attach();  // handlers persist across Detach/Attach
+  std::string got;
+  client_machine_.actor().Spawn([](Node* c, std::string* out) -> Task<> {
+    auto r = co_await c->Call(1, EchoRequest("x"), Millis(100));
+    *out = r.ok() ? r->text : "ERR";
+  }(&client_, &got));
+  loop_.Run();
+  EXPECT_EQ(got, "v2:x");
+}
+
+}  // namespace
+}  // namespace cheetah::rpc

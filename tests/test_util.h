@@ -1,0 +1,45 @@
+// Shared test helpers.
+//
+// gtest's ASSERT_* macros expand to `return`, which is ill-formed inside a
+// coroutine; these variants record the failure and co_return instead.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#define CO_ASSERT_TRUE(cond)                              \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ADD_FAILURE() << "assertion failed: " #cond;        \
+      co_return;                                          \
+    }                                                     \
+  } while (0)
+
+#define CO_ASSERT_OK(expr)                                          \
+  do {                                                              \
+    const auto& _r = (expr);                                        \
+    if (!_r.ok()) {                                                 \
+      ADD_FAILURE() << #expr " failed: " << _r.status().ToString(); \
+      co_return;                                                    \
+    }                                                               \
+  } while (0)
+
+#define CO_ASSERT_STATUS_OK(expr)                          \
+  do {                                                     \
+    const ::cheetah::Status _s = (expr);                   \
+    if (!_s.ok()) {                                        \
+      ADD_FAILURE() << #expr " failed: " << _s.ToString(); \
+      co_return;                                           \
+    }                                                      \
+  } while (0)
+
+#define CO_ASSERT_EQ(a, b)                                               \
+  do {                                                                   \
+    if (!((a) == (b))) {                                                 \
+      ADD_FAILURE() << "expected " #a " == " #b << " (" << (a) << " vs " \
+                    << (b) << ")";                                       \
+      co_return;                                                         \
+    }                                                                    \
+  } while (0)
+
+#endif  // TESTS_TEST_UTIL_H_

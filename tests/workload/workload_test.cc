@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/testbed.h"
+#include "src/workload/adapters.h"
+#include "src/workload/generator.h"
+#include "src/workload/runner.h"
+#include "src/workload/stats.h"
+#include "tests/test_util.h"
+
+namespace cheetah::workload {
+namespace {
+
+TEST(StatsTest, LatencyRecorderMeanAndPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.Record(Millis(i));
+  }
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_NEAR(rec.MeanMillis(), 50.5, 0.01);
+  EXPECT_NEAR(rec.PercentileMillis(0.5), 51.0, 1.0);
+  EXPECT_NEAR(rec.PercentileMillis(0.99), 100.0, 1.0);
+}
+
+TEST(StatsTest, EmptyRecorderIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_DOUBLE_EQ(rec.MeanMillis(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.PercentileMillis(0.99), 0.0);
+}
+
+TEST(StatsTest, ThroughputComputesRate) {
+  Throughput tp;
+  tp.ops = 5000;
+  tp.interval = Seconds(2);
+  EXPECT_DOUBLE_EQ(tp.OpsPerSec(), 2500.0);
+}
+
+TEST(StatsTest, TimeSeriesBuckets) {
+  TimeSeries ts(Seconds(1));
+  ts.Record(Millis(200), 3);
+  ts.Record(Millis(800), 2);
+  ts.Record(Millis(1500), 7);
+  ASSERT_EQ(ts.buckets().size(), 2u);
+  EXPECT_EQ(ts.buckets()[0], 5u);
+  EXPECT_EQ(ts.buckets()[1], 7u);
+}
+
+TEST(GeneratorTest, FixedAndUniformSizes) {
+  Rng rng(1);
+  auto fixed = FixedSize(KiB(8));
+  EXPECT_EQ(fixed(rng), KiB(8));
+  auto uniform = UniformSize(KiB(4), KiB(512));
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t s = uniform(rng);
+    EXPECT_GE(s, KiB(4));
+    EXPECT_LE(s, KiB(512));
+  }
+}
+
+TEST(GeneratorTest, TraceSizeMatchesFig16b) {
+  Rng rng(7);
+  auto dist = TraceSize();
+  std::map<int, int> buckets;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t s = dist(rng);
+    EXPECT_LE(s, KiB(512));
+    buckets[static_cast<int>(s / KiB(64))]++;
+  }
+  // The 448-512KB bucket dominates at ~56%.
+  EXPECT_NEAR(buckets[7] / static_cast<double>(n), 0.563, 0.03);
+  // The 64-128KB bucket is the second mode at ~14%.
+  EXPECT_NEAR(buckets[1] / static_cast<double>(n), 0.143, 0.03);
+}
+
+TEST(GeneratorTest, MixedWorkloadRespectsRatios) {
+  Rng rng(3);
+  NamePool pool("obj-");
+  MixedWorkload mix(0.4, 0.1, FixedSize(KiB(8)), &pool);
+  int puts = 0, gets = 0, dels = 0;
+  for (int i = 0; i < 10000; ++i) {
+    Op op = mix.Next(rng);
+    switch (op.type) {
+      case OpType::kPut:
+        ++puts;
+        pool.Add(op.name);
+        break;
+      case OpType::kGet:
+        ++gets;
+        break;
+      case OpType::kDelete:
+        ++dels;
+        break;
+    }
+  }
+  EXPECT_NEAR(puts / 10000.0, 0.4, 0.03);
+  EXPECT_NEAR(dels / 10000.0, 0.1, 0.02);
+  EXPECT_NEAR(gets / 10000.0, 0.5, 0.03);
+}
+
+TEST(GeneratorTest, MixedWorkloadFallsBackToPutWhenEmpty) {
+  Rng rng(5);
+  NamePool pool("x-");
+  MixedWorkload mix(0.0, 0.0, FixedSize(1024), &pool);  // all gets...
+  Op op = mix.Next(rng);
+  EXPECT_EQ(op.type, OpType::kPut);  // ...but the pool is empty
+}
+
+TEST(GeneratorTest, NamePoolTakeRemoves) {
+  Rng rng(9);
+  NamePool pool("t-");
+  for (int i = 0; i < 10; ++i) {
+    pool.Add(pool.NextName());
+  }
+  EXPECT_EQ(pool.size(), 10u);
+  std::string taken = pool.Take(rng);
+  EXPECT_EQ(pool.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_NE(pool.Sample(rng), taken);
+  }
+}
+
+TEST(GeneratorTest, TraceOpRatiosShapedLikeFig16a) {
+  auto days = TraceOpRatios(21);
+  ASSERT_EQ(days.size(), 21u);
+  for (const auto& d : days) {
+    EXPECT_GT(d.put_ratio, d.get_ratio);  // writes dominate
+    EXPECT_GT(d.delete_ratio, 0.1);       // deletes are substantial
+    EXPECT_NEAR(d.put_ratio + d.get_ratio + d.delete_ratio, 1.0, 1e-9);
+  }
+}
+
+class RunnerTest : public ::testing::Test {
+ public:
+  void SetUp() override {
+    core::TestbedConfig config;
+    config.meta_machines = 3;
+    config.data_machines = 4;
+    config.proxies = 2;
+    config.pg_count = 8;
+    config.disks_per_data_machine = 2;
+    config.pvs_per_disk = 3;
+    config.lv_capacity_bytes = MiB(256);
+    bed_ = std::make_unique<core::Testbed>(std::move(config));
+    ASSERT_TRUE(bed_->Boot().ok());
+    for (int i = 0; i < bed_->num_proxies(); ++i) {
+      stores_.push_back(std::make_unique<CheetahStore>(&bed_->proxy(i)));
+      clients_.emplace_back(&bed_->proxy_machine(i).actor(), stores_.back().get());
+    }
+  }
+
+  std::unique_ptr<core::Testbed> bed_;
+  std::vector<std::unique_ptr<CheetahStore>> stores_;
+  std::vector<std::pair<sim::Actor*, ObjectStore*>> clients_;
+};
+
+TEST_F(RunnerTest, RunsPutOnlyWorkload) {
+  RunnerConfig config;
+  config.concurrency = 10;
+  config.total_ops = 200;
+  Runner runner(bed_->loop(), clients_, config);
+  NamePool pool("bench-");
+  auto results = runner.Run([&pool](Rng& rng) {
+    Op op;
+    op.type = OpType::kPut;
+    op.name = pool.NextName();
+    op.size = KiB(8);
+    return op;
+  });
+  EXPECT_EQ(results.put.count(), 200u);
+  EXPECT_EQ(results.errors, 0u);
+  EXPECT_GT(results.put.MeanMillis(), 0.0);
+  EXPECT_GT(results.throughput.OpsPerSec(), 0.0);
+}
+
+TEST_F(RunnerTest, MixedWorkloadRunsCleanly) {
+  RunnerConfig config;
+  config.concurrency = 20;
+  config.total_ops = 300;
+  Runner runner(bed_->loop(), clients_, config);
+  NamePool pool("mix-");
+  MixedWorkload mix(0.5, 0.1, FixedSize(KiB(8)), &pool);
+  auto results = runner.Run([&mix](Rng& rng) { return mix.Next(rng); },
+                            [&pool](const std::string& name) { pool.Add(name); });
+  EXPECT_EQ(results.errors, 0u);
+  EXPECT_GT(results.put.count(), 0u);
+  EXPECT_GT(results.get.count(), 0u);
+  EXPECT_GT(results.del.count(), 0u);
+}
+
+TEST_F(RunnerTest, DurationBoundedRun) {
+  RunnerConfig config;
+  config.concurrency = 5;
+  config.total_ops = 0;
+  config.duration = Millis(500);
+  const Nanos start = bed_->loop().Now();
+  Runner runner(bed_->loop(), clients_, config);
+  NamePool pool("dur-");
+  auto results = runner.Run([&pool](Rng&) {
+    Op op;
+    op.type = OpType::kPut;
+    op.name = pool.NextName();
+    op.size = KiB(4);
+    return op;
+  });
+  EXPECT_GT(results.put.count(), 0u);
+  // Workers stop issuing after the deadline; in-flight ops drain shortly.
+  EXPECT_LT(bed_->loop().Now() - start, Millis(500) + Seconds(1));
+}
+
+TEST_F(RunnerTest, PreloadPopulatesStore) {
+  auto names = Preload(bed_->loop(), clients_, "pre-", 50, KiB(8));
+  EXPECT_EQ(names.size(), 50u);
+  auto got = bed_->GetObject(0, "pre-17");
+  EXPECT_TRUE(got.ok());
+}
+
+}  // namespace
+}  // namespace cheetah::workload
