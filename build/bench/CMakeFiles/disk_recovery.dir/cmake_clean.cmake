@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_recovery.dir/disk_recovery.cc.o"
+  "CMakeFiles/disk_recovery.dir/disk_recovery.cc.o.d"
+  "disk_recovery"
+  "disk_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_tradeoffs.dir/ec_tradeoffs.cc.o"
+  "CMakeFiles/ec_tradeoffs.dir/ec_tradeoffs.cc.o.d"
+  "ec_tradeoffs"
+  "ec_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

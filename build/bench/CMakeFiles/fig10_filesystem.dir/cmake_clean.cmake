@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_filesystem.dir/fig10_filesystem.cc.o"
+  "CMakeFiles/fig10_filesystem.dir/fig10_filesystem.cc.o.d"
+  "fig10_filesystem"
+  "fig10_filesystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_filesystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

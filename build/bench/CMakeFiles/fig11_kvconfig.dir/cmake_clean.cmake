@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_kvconfig.dir/fig11_kvconfig.cc.o"
+  "CMakeFiles/fig11_kvconfig.dir/fig11_kvconfig.cc.o.d"
+  "fig11_kvconfig"
+  "fig11_kvconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_kvconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

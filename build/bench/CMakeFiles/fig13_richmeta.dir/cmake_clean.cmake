@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_richmeta.dir/fig13_richmeta.cc.o"
+  "CMakeFiles/fig13_richmeta.dir/fig13_richmeta.cc.o.d"
+  "fig13_richmeta"
+  "fig13_richmeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_richmeta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_richmeta.
+# This may be replaced when dependencies are built.

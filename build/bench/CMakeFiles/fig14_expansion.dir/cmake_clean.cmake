@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_expansion.dir/fig14_expansion.cc.o"
+  "CMakeFiles/fig14_expansion.dir/fig14_expansion.cc.o.d"
+  "fig14_expansion"
+  "fig14_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

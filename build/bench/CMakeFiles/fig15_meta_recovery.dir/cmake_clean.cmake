@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_meta_recovery.dir/fig15_meta_recovery.cc.o"
+  "CMakeFiles/fig15_meta_recovery.dir/fig15_meta_recovery.cc.o.d"
+  "fig15_meta_recovery"
+  "fig15_meta_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_meta_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

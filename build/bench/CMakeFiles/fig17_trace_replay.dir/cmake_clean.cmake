@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_trace_replay.dir/fig17_trace_replay.cc.o"
+  "CMakeFiles/fig17_trace_replay.dir/fig17_trace_replay.cc.o.d"
+  "fig17_trace_replay"
+  "fig17_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

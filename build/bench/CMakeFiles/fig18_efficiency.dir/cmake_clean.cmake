@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_efficiency.dir/fig18_efficiency.cc.o"
+  "CMakeFiles/fig18_efficiency.dir/fig18_efficiency.cc.o.d"
+  "fig18_efficiency"
+  "fig18_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_compaction.dir/fig19_compaction.cc.o"
+  "CMakeFiles/fig19_compaction.dir/fig19_compaction.cc.o.d"
+  "fig19_compaction"
+  "fig19_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

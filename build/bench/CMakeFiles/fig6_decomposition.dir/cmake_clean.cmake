@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_decomposition.dir/fig6_decomposition.cc.o"
+  "CMakeFiles/fig6_decomposition.dir/fig6_decomposition.cc.o.d"
+  "fig6_decomposition"
+  "fig6_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_throughput.dir/fig7_throughput.cc.o"
+  "CMakeFiles/fig7_throughput.dir/fig7_throughput.cc.o.d"
+  "fig7_throughput"
+  "fig7_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rmw.dir/fig8_rmw.cc.o"
+  "CMakeFiles/fig8_rmw.dir/fig8_rmw.cc.o.d"
+  "fig8_rmw"
+  "fig8_rmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_cache_ablation.dir/read_cache_ablation.cc.o"
+  "CMakeFiles/read_cache_ablation.dir/read_cache_ablation.cc.o.d"
+  "read_cache_ablation"
+  "read_cache_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_cache_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_lifecycle.dir/analytics_lifecycle.cpp.o"
+  "CMakeFiles/analytics_lifecycle.dir/analytics_lifecycle.cpp.o.d"
+  "analytics_lifecycle"
+  "analytics_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_service.dir/photo_service.cpp.o"
+  "CMakeFiles/photo_service.dir/photo_service.cpp.o.d"
+  "photo_service"
+  "photo_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_alloc.dir/bitmap_allocator.cc.o"
+  "CMakeFiles/cheetah_alloc.dir/bitmap_allocator.cc.o.d"
+  "libcheetah_alloc.a"
+  "libcheetah_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_baselines.dir/ceph.cc.o"
+  "CMakeFiles/cheetah_baselines.dir/ceph.cc.o.d"
+  "CMakeFiles/cheetah_baselines.dir/haystack.cc.o"
+  "CMakeFiles/cheetah_baselines.dir/haystack.cc.o.d"
+  "CMakeFiles/cheetah_baselines.dir/tectonic.cc.o"
+  "CMakeFiles/cheetah_baselines.dir/tectonic.cc.o.d"
+  "libcheetah_baselines.a"
+  "libcheetah_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

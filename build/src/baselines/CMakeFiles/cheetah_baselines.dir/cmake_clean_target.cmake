@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcheetah_baselines.a"
+)

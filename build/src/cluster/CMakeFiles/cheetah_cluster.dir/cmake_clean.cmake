@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_cluster.dir/manager.cc.o"
+  "CMakeFiles/cheetah_cluster.dir/manager.cc.o.d"
+  "CMakeFiles/cheetah_cluster.dir/topology.cc.o"
+  "CMakeFiles/cheetah_cluster.dir/topology.cc.o.d"
+  "libcheetah_cluster.a"
+  "libcheetah_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

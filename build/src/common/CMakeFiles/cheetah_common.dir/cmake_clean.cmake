@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_common.dir/crc32c.cc.o"
+  "CMakeFiles/cheetah_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/cheetah_common.dir/hash.cc.o"
+  "CMakeFiles/cheetah_common.dir/hash.cc.o.d"
+  "CMakeFiles/cheetah_common.dir/logging.cc.o"
+  "CMakeFiles/cheetah_common.dir/logging.cc.o.d"
+  "CMakeFiles/cheetah_common.dir/random.cc.o"
+  "CMakeFiles/cheetah_common.dir/random.cc.o.d"
+  "CMakeFiles/cheetah_common.dir/status.cc.o"
+  "CMakeFiles/cheetah_common.dir/status.cc.o.d"
+  "libcheetah_common.a"
+  "libcheetah_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_core.dir/client_proxy.cc.o"
+  "CMakeFiles/cheetah_core.dir/client_proxy.cc.o.d"
+  "CMakeFiles/cheetah_core.dir/data_server.cc.o"
+  "CMakeFiles/cheetah_core.dir/data_server.cc.o.d"
+  "CMakeFiles/cheetah_core.dir/meta_server.cc.o"
+  "CMakeFiles/cheetah_core.dir/meta_server.cc.o.d"
+  "CMakeFiles/cheetah_core.dir/metax.cc.o"
+  "CMakeFiles/cheetah_core.dir/metax.cc.o.d"
+  "CMakeFiles/cheetah_core.dir/testbed.cc.o"
+  "CMakeFiles/cheetah_core.dir/testbed.cc.o.d"
+  "libcheetah_core.a"
+  "libcheetah_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_crush.dir/crush.cc.o"
+  "CMakeFiles/cheetah_crush.dir/crush.cc.o.d"
+  "libcheetah_crush.a"
+  "libcheetah_crush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_crush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

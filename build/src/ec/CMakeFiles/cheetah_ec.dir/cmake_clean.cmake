@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_ec.dir/reed_solomon.cc.o"
+  "CMakeFiles/cheetah_ec.dir/reed_solomon.cc.o.d"
+  "libcheetah_ec.a"
+  "libcheetah_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_kv.dir/db.cc.o"
+  "CMakeFiles/cheetah_kv.dir/db.cc.o.d"
+  "CMakeFiles/cheetah_kv.dir/sstable.cc.o"
+  "CMakeFiles/cheetah_kv.dir/sstable.cc.o.d"
+  "CMakeFiles/cheetah_kv.dir/write_batch.cc.o"
+  "CMakeFiles/cheetah_kv.dir/write_batch.cc.o.d"
+  "libcheetah_kv.a"
+  "libcheetah_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

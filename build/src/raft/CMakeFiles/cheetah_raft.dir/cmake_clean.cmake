@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_raft.dir/raft.cc.o"
+  "CMakeFiles/cheetah_raft.dir/raft.cc.o.d"
+  "libcheetah_raft.a"
+  "libcheetah_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_sim.dir/actor.cc.o"
+  "CMakeFiles/cheetah_sim.dir/actor.cc.o.d"
+  "CMakeFiles/cheetah_sim.dir/event_loop.cc.o"
+  "CMakeFiles/cheetah_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/cheetah_sim.dir/network.cc.o"
+  "CMakeFiles/cheetah_sim.dir/network.cc.o.d"
+  "CMakeFiles/cheetah_sim.dir/storage.cc.o"
+  "CMakeFiles/cheetah_sim.dir/storage.cc.o.d"
+  "CMakeFiles/cheetah_sim.dir/sync.cc.o"
+  "CMakeFiles/cheetah_sim.dir/sync.cc.o.d"
+  "libcheetah_sim.a"
+  "libcheetah_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_workload.dir/generator.cc.o"
+  "CMakeFiles/cheetah_workload.dir/generator.cc.o.d"
+  "CMakeFiles/cheetah_workload.dir/runner.cc.o"
+  "CMakeFiles/cheetah_workload.dir/runner.cc.o.d"
+  "libcheetah_workload.a"
+  "libcheetah_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_behavior_test.dir/baselines/baseline_behavior_test.cc.o"
+  "CMakeFiles/baseline_behavior_test.dir/baselines/baseline_behavior_test.cc.o.d"
+  "baseline_behavior_test"
+  "baseline_behavior_test.pdb"
+  "baseline_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

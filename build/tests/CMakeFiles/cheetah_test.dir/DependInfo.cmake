@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cheetah_test.cc" "tests/CMakeFiles/cheetah_test.dir/core/cheetah_test.cc.o" "gcc" "tests/CMakeFiles/cheetah_test.dir/core/cheetah_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cheetah_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cheetah_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cheetah_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/cheetah_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/cheetah_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/cheetah_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crush/CMakeFiles/cheetah_crush.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cheetah_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheetah_test.dir/core/cheetah_test.cc.o"
+  "CMakeFiles/cheetah_test.dir/core/cheetah_test.cc.o.d"
+  "cheetah_test"
+  "cheetah_test.pdb"
+  "cheetah_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheetah_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

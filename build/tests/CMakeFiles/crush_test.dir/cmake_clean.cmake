@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crush_test.dir/crush/crush_test.cc.o"
+  "CMakeFiles/crush_test.dir/crush/crush_test.cc.o.d"
+  "crush_test"
+  "crush_test.pdb"
+  "crush_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crush_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

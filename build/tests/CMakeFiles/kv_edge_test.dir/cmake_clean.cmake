@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_edge_test.dir/kv/kv_edge_test.cc.o"
+  "CMakeFiles/kv_edge_test.dir/kv/kv_edge_test.cc.o.d"
+  "kv_edge_test"
+  "kv_edge_test.pdb"
+  "kv_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metax_test.dir/core/metax_test.cc.o"
+  "CMakeFiles/metax_test.dir/core/metax_test.cc.o.d"
+  "metax_test"
+  "metax_test.pdb"
+  "metax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

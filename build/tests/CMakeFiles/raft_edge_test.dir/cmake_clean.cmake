@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_edge_test.dir/raft/raft_edge_test.cc.o"
+  "CMakeFiles/raft_edge_test.dir/raft/raft_edge_test.cc.o.d"
+  "raft_edge_test"
+  "raft_edge_test.pdb"
+  "raft_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
