@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "src/baselines/haystack.h"
 #include "src/baselines/tectonic.h"
 #include "src/core/testbed.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/workload/adapters.h"
 #include "src/workload/generator.h"
 #include "src/workload/runner.h"
@@ -232,6 +235,35 @@ inline workload::RunnerResults RunDeletes(
     op.name = (*list)[(*cursor)++ % list->size()];
     return op;
   });
+}
+
+// ---- observability ----
+
+// Drops all previously recorded spans and starts tracing. Call after warm-up
+// so the first measured op is not polluted by boot-time RPCs.
+inline void EnableTracing() {
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().set_enabled(true);
+}
+
+inline void DisableTracing() { obs::Tracer::Global().set_enabled(false); }
+
+// Writes "<name>.obs.json" next to the binary: the full metrics registry and
+// (if any spans were recorded) the trace, machine-readable.
+inline void DumpObsJson(const std::string& name) {
+  const std::string path = name + ".obs.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\"metrics\":" << obs::Registry::Global().ToJson();
+  const auto& tracer = obs::Tracer::Global();
+  if (!tracer.spans().empty()) {
+    out << ",\"trace\":" << tracer.ToJson();
+  }
+  out << "}\n";
+  std::printf("[obs] wrote %s\n", path.c_str());
 }
 
 // ---- output ----

@@ -84,5 +84,6 @@ int main() {
                 static_cast<unsigned long long>(last), secs,
                 secs > 0 ? static_cast<double>(last) / 1e9 / secs : 0.0);
   }
+  DumpObsJson("disk_recovery");
   return 0;
 }

@@ -38,5 +38,6 @@ int main() {
       std::fflush(stdout);
     }
   }
+  DumpObsJson("fig10_filesystem");
   return 0;
 }

@@ -55,5 +55,6 @@ int main() {
                 base > 0 ? tput / base : 0.0);
     std::fflush(stdout);
   }
+  DumpObsJson("fig11_kvconfig");
   return 0;
 }

@@ -48,5 +48,6 @@ int main() {
     std::printf("%-18d%-18.0f%-18.0f\n", m, ssd, ram);
     std::fflush(stdout);
   }
+  DumpObsJson("fig12_scalability");
   return 0;
 }

@@ -47,5 +47,6 @@ int main() {
                 thin > 0 ? rich / thin : 0.0);
     std::fflush(stdout);
   }
+  DumpObsJson("fig13_richmeta");
   return 0;
 }

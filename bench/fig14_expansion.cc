@@ -91,5 +91,6 @@ int main() {
   for (const auto& [name, n] : rows) {
     std::printf("%-18s%-18.0f%-18.0f\n", name.c_str(), n.put_tput, n.get_tput);
   }
+  DumpObsJson("fig14_expansion");
   return 0;
 }

@@ -55,5 +55,6 @@ int main() {
     last = recovered;
     bench.bed->RunFor(Millis(10));
   }
+  DumpObsJson("fig15_meta_recovery");
   return 0;
 }

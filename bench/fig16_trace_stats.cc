@@ -31,5 +31,6 @@ int main() {
     std::printf("%-18s%-18.1f\n", labels[b],
                 100.0 * static_cast<double>(buckets[b]) / n);
   }
+  DumpObsJson("fig16_trace_stats");
   return 0;
 }

@@ -75,5 +75,6 @@ int main() {
   for (const auto& [name, r] : rows) {
     std::printf("%-18s%-18.0f\n", name.c_str(), r.tput);
   }
+  DumpObsJson("fig17_trace_replay");
   return 0;
 }

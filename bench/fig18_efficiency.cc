@@ -90,5 +90,6 @@ int main() {
                 static_cast<unsigned long long>(occupied), eff);
     std::fflush(stdout);
   }
+  DumpObsJson("fig18_efficiency");
   return 0;
 }

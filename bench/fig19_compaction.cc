@@ -57,5 +57,6 @@ int main() {
   }
   std::printf("\nCheetah / Haystack-in-compaction = %.2fx\n",
               haystack_compact > 0 ? cheetah_tput / haystack_compact : 0.0);
+  DumpObsJson("fig19_compaction");
   return 0;
 }

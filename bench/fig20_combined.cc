@@ -32,5 +32,6 @@ int main() {
                 results.all.MeanMillis());
     std::fflush(stdout);
   }
+  DumpObsJson("fig20_combined");
   return 0;
 }

@@ -94,5 +94,6 @@ int main() {
   PrintFigure("Fig. 5a: mean PUT latency (ms)", rows, &SystemRow::put_ms);
   PrintFigure("Fig. 5b: mean GET latency (ms)", rows, &SystemRow::get_ms);
   PrintFigure("Fig. 5c: mean DELETE latency (ms)", rows, &SystemRow::del_ms);
+  DumpObsJson("fig5_latency");
   return 0;
 }

@@ -46,5 +46,6 @@ int main() {
       std::printf("\n");
     }
   }
+  DumpObsJson("fig7_throughput");
   return 0;
 }

@@ -90,5 +90,6 @@ int main() {
       std::fflush(stdout);
     }
   }
+  DumpObsJson("fig8_rmw");
   return 0;
 }

@@ -36,5 +36,6 @@ int main() {
       std::fflush(stdout);
     }
   }
+  DumpObsJson("fig9_ordering");
   return 0;
 }

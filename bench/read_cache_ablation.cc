@@ -36,5 +36,6 @@ int main() {
                 with_cache > 0 ? without / with_cache : 0.0);
     std::fflush(stdout);
   }
+  DumpObsJson("read_cache_ablation");
   return 0;
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Hardened check: configure with -Werror + ASan/UBSan (the "sanitize" preset
+# in CMakePresets.json), build everything, and run the full test suite under
+# the sanitizers. Usage: scripts/check.sh [preset]   (default: sanitize)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset="${1:-sanitize}"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)"

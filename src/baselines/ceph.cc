@@ -21,7 +21,13 @@ std::string EncodeObjInfo(uint64_t offset, uint64_t size, uint32_t crc) {
 
 // ---- OSD ----
 
-CephOsd::CephOsd(rpc::Node& rpc, const CephConfig& config) : rpc_(rpc), config_(config) {}
+CephOsd::CephOsd(rpc::Node& rpc, const CephConfig& config)
+    : rpc_(rpc),
+      config_(config),
+      scope_("ceph@" + std::to_string(rpc.id())),
+      counters_{scope_.counter("writes"), scope_.counter("reads"),
+                scope_.counter("journal_bytes"), scope_.counter("backfilled_objects"),
+                scope_.counter("backfill_bytes")} {}
 
 sim::Task<Status> CephOsd::Start() {
   kv::Options opts;
@@ -110,13 +116,13 @@ sim::Task<Status> CephOsd::LocalWrite(const std::string& name, std::string data,
   CO_RETURN_IF_ERROR(co_await disk.Append("journal", std::string(1, 'j'), /*sync=*/false));
   co_await disk.ChargeWrite(journal_bytes);
   co_await disk.ChargeFsync();
-  stats_.journal_bytes += journal_bytes;
+  counters_.journal_bytes->Add(journal_bytes);
   const uint64_t offset = tail_;
   CO_RETURN_IF_ERROR(co_await disk.WriteBlocks(kDevice, offset, std::move(data), checksum));
   CO_RETURN_IF_ERROR(co_await db_->Put("O_" + name, EncodeObjInfo(offset, size, checksum)));
   objects_[name] = ObjInfo{offset, size, checksum};
   tail_ += size;
-  ++stats_.writes;
+  counters_.writes->Add();
   co_return Status::Ok();
 }
 
@@ -205,7 +211,7 @@ sim::Task<Result<CReadReply>> CephOsd::HandleRead(sim::NodeId, CReadRequest req)
   if (!data.ok()) {
     co_return data.status();
   }
-  ++stats_.reads;
+  counters_.reads->Add();
   CReadReply reply;
   reply.data = std::move(*data);
   reply.checksum = it->second.checksum;
@@ -290,9 +296,9 @@ sim::Task<> CephOsd::BackfillPg(uint32_t pg, sim::NodeId source) {
       continue;
     }
     (void)co_await LocalWrite(obj.name, std::move(obj.data), obj.checksum);
-    ++stats_.backfilled_objects;
+    counters_.backfilled_objects->Add();
   }
-  stats_.backfill_bytes += pulled->total_bytes;
+  counters_.backfill_bytes->Add(pulled->total_bytes);
 }
 
 // ---- client ----

@@ -20,6 +20,7 @@
 #include "src/common/random.h"
 #include "src/crush/crush.h"
 #include "src/kv/db.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/node.h"
 #include "src/sim/sync.h"
 #include "src/workload/object_store.h"
@@ -135,6 +136,7 @@ class CephOsd {
   void InstallMap(crush::Map map, uint64_t epoch,
                   const std::map<uint32_t, sim::NodeId>& previous_primaries);
 
+  // Value snapshot of the registry-backed counters ("ceph@<node>#<i>.*").
   struct Stats {
     uint64_t writes = 0;
     uint64_t reads = 0;
@@ -142,7 +144,11 @@ class CephOsd {
     uint64_t backfilled_objects = 0;
     uint64_t backfill_bytes = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    return Stats{counters_.writes->value(), counters_.reads->value(),
+                 counters_.journal_bytes->value(), counters_.backfilled_objects->value(),
+                 counters_.backfill_bytes->value()};
+  }
 
  private:
   struct ObjInfo {
@@ -176,7 +182,14 @@ class CephOsd {
   std::unordered_map<std::string, ObjInfo> objects_;
   std::map<uint32_t, PgLock> pg_locks_;
   uint64_t tail_ = 0;
-  Stats stats_;
+  obs::Scope scope_;
+  struct {
+    obs::Counter* writes;
+    obs::Counter* reads;
+    obs::Counter* journal_bytes;
+    obs::Counter* backfilled_objects;
+    obs::Counter* backfill_bytes;
+  } counters_;
 };
 
 // ---- client ----

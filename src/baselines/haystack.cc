@@ -193,7 +193,12 @@ sim::Task<Result<HsDirReplicateReply>> HaystackDirectory::HandleReplicate(
 // ---- store ----
 
 HaystackStore::HaystackStore(rpc::Node& rpc, const HaystackConfig& config)
-    : rpc_(rpc), config_(config) {}
+    : rpc_(rpc),
+      config_(config),
+      scope_("haystack@" + std::to_string(rpc.id())),
+      counters_{scope_.counter("writes"),      scope_.counter("reads"),
+                scope_.counter("flags"),       scope_.counter("checkpoints"),
+                scope_.counter("compactions"), scope_.counter("compacted_bytes")} {}
 
 void HaystackStore::Start() {
   rpc_.Serve<HsWriteRequest>([this](sim::NodeId src, HsWriteRequest req) {
@@ -229,7 +234,7 @@ sim::Task<Result<HsWriteReply>> HaystackStore::HandleWrite(sim::NodeId src,
   ++vol.dirty;  // Mo lives in memory; the on-disk index lags (§2.2)
   live_bytes_ += size;
   total_bytes_ += size;
-  ++stats_.writes;
+  counters_.writes->Add();
   HsWriteReply reply;
   reply.offset = offset;
   co_return reply;
@@ -253,7 +258,7 @@ sim::Task<Result<HsReadReply>> HaystackStore::HandleRead(sim::NodeId src, HsRead
   if (!data.ok()) {
     co_return data.status();
   }
-  ++stats_.reads;
+  counters_.reads->Add();
   HsReadReply reply;
   reply.data = std::move(*data);
   reply.checksum = nit->second.checksum;
@@ -277,7 +282,7 @@ sim::Task<Result<HsFlagReply>> HaystackStore::HandleFlag(sim::NodeId src, HsFlag
   vit->second.dead_bytes += nit->second.size;
   live_bytes_ -= nit->second.size;
   ++vit->second.dirty;
-  ++stats_.flags;
+  counters_.flags->Add();
   co_return HsFlagReply{};
 }
 
@@ -318,8 +323,8 @@ sim::Task<Result<HsCompactReply>> HaystackStore::HandleCompact(sim::NodeId src,
   vol.dead_bytes = 0;
   ++vol.generation;
   ++vol.dirty;
-  ++stats_.compactions;
-  stats_.compacted_bytes += rewritten;
+  counters_.compactions->Add();
+  counters_.compacted_bytes->Add(rewritten);
   HsCompactReply reply;
   reply.bytes_rewritten = rewritten;
   co_return reply;
@@ -339,7 +344,7 @@ sim::Task<> HaystackStore::CheckpointLoop() {
       (void)co_await disk.WriteFile(IndexFile(id), std::string(1, 'i'), /*sync=*/true);
       co_await disk.ChargeWrite(bytes);
       vol.dirty = 0;
-      ++stats_.checkpoints;
+      counters_.checkpoints->Add();
     }
   }
 }

@@ -23,6 +23,7 @@
 
 #include "src/common/random.h"
 #include "src/kv/db.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/node.h"
 #include "src/workload/object_store.h"
 
@@ -192,6 +193,7 @@ class HaystackStore {
   HaystackStore(rpc::Node& rpc, const HaystackConfig& config);
   void Start();
 
+  // Value snapshot of the registry-backed counters ("haystack@<node>#<i>.*").
   struct Stats {
     uint64_t writes = 0;
     uint64_t reads = 0;
@@ -200,7 +202,11 @@ class HaystackStore {
     uint64_t compactions = 0;
     uint64_t compacted_bytes = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    return Stats{counters_.writes->value(),      counters_.reads->value(),
+                 counters_.flags->value(),       counters_.checkpoints->value(),
+                 counters_.compactions->value(), counters_.compacted_bytes->value()};
+  }
 
   // Bytes of live vs total needle data (storage efficiency, Fig. 18).
   uint64_t live_bytes() const { return live_bytes_; }
@@ -239,7 +245,15 @@ class HaystackStore {
   std::map<uint32_t, Volume> volumes_;
   uint64_t live_bytes_ = 0;
   uint64_t total_bytes_ = 0;
-  Stats stats_;
+  obs::Scope scope_;
+  struct {
+    obs::Counter* writes;
+    obs::Counter* reads;
+    obs::Counter* flags;
+    obs::Counter* checkpoints;
+    obs::Counter* compactions;
+    obs::Counter* compacted_bytes;
+  } counters_;
 };
 
 // ---- client ----

@@ -4,6 +4,7 @@
 
 #include "src/common/crc32c.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 #include "src/sim/actor.h"
 
 namespace cheetah::core {
@@ -14,7 +15,11 @@ ClientProxy::ClientProxy(rpc::Node& rpc, CheetahOptions options,
       options_(std::move(options)),
       manager_nodes_(std::move(manager_nodes)),
       proxy_id_(proxy_id),
-      rng_(0x9c0ffee0ull + proxy_id) {}
+      rng_(0x9c0ffee0ull + proxy_id),
+      scope_("proxy@" + std::to_string(rpc.id())),
+      counters_{scope_.counter("puts"),    scope_.counter("gets"),
+                scope_.counter("deletes"), scope_.counter("retries"),
+                scope_.counter("failures"), scope_.counter("cache_hits")} {}
 
 void ClientProxy::Start() {
   rpc_.Serve<MetaPersistedNotify>([this](sim::NodeId src, MetaPersistedNotify req) {
@@ -109,6 +114,15 @@ sim::Task<> ClientProxy::BackoffAndRefresh(int attempt) {
 // ---- put ----
 
 sim::Task<Status> ClientProxy::Put(std::string name, std::string data) {
+  auto& tracer = obs::Tracer::Global();
+  const uint64_t op =
+      tracer.enabled() ? tracer.BeginOp("put", rpc_.id(), rpc_.machine().loop().Now()) : 0;
+  Status s = co_await PutImpl(std::move(name), std::move(data));
+  tracer.EndOp(op, rpc_.machine().loop().Now(), s.ok());
+  co_return s;
+}
+
+sim::Task<Status> ClientProxy::PutImpl(std::string name, std::string data) {
   CO_RETURN_IF_ERROR(co_await EnsureTopology());
   const uint32_t checksum = Crc32c(data);
   const ReqId reqid = (static_cast<uint64_t>(proxy_id_) << 32) | next_req_++;
@@ -117,15 +131,15 @@ sim::Task<Status> ClientProxy::Put(std::string name, std::string data) {
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
     Status s = co_await PutAttempt(name, data, checksum, reqid, re_meta, re_data);
     if (s.ok()) {
-      ++stats_.puts;
+      counters_.puts->Add();
       co_return s;
     }
     if (s.code() == ErrorCode::kAlreadyExists ||
         s.code() == ErrorCode::kResourceExhausted) {
-      ++stats_.failures;
+      counters_.failures->Add();
       co_return s;  // terminal
     }
-    ++stats_.retries;
+    counters_.retries->Add();
     if (s.IsStaleView()) {
       (void)co_await RefreshTopology();
     } else if (s.code() == ErrorCode::kIoError) {
@@ -136,14 +150,13 @@ sim::Task<Status> ClientProxy::Put(std::string name, std::string data) {
       co_await BackoffAndRefresh(attempt);
     }
   }
-  ++stats_.failures;
+  counters_.failures->Add();
   co_return Status::Unavailable("put exhausted retries");
 }
 
 sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::string& data,
                                           uint32_t checksum, ReqId reqid, bool re_meta,
                                           bool re_data) {
-  const Nanos t0 = rpc_.machine().loop().Now();
   const cluster::PgId pg = topo_.PgOf(name);
   const sim::NodeId primary = topo_.PrimaryOf(pg);
 
@@ -159,7 +172,6 @@ sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::st
   alloc.proxy_node = rpc_.id();
   alloc.re_meta = re_meta;
   alloc.re_data = re_data;
-  const Nanos t_sent = rpc_.machine().loop().Now();
   auto reply = co_await rpc_.Call(primary, std::move(alloc), options_.rpc_timeout);
   if (!reply.ok()) {
     persist_waits_.erase(reqid);
@@ -168,26 +180,29 @@ sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::st
     }
     co_return reply.status();
   }
-  const Nanos t_alloc = rpc_.machine().loop().Now();
 
   const cluster::LogicalVolume* lv = topo_.FindLv(reply->lvid);
   if (lv == nullptr) {
     persist_waits_.erase(reqid);
     co_return Status::StaleView("allocated volume unknown to this proxy");
   }
-  const Nanos t_data_sent = rpc_.machine().loop().Now();
   Status ws = co_await WriteDataReplicas(*lv, reply->extents, data, checksum);
-  const Nanos t_data_ack = rpc_.machine().loop().Now();
   if (!ws.ok()) {
     persist_waits_.erase(reqid);
     co_return Status::IoError("data write failed: " + ws.ToString());
   }
 
-  // Wait for the MetaX-persisted ack (already satisfied in Cheetah-OW).
-  Nanos t_meta_ack = t_alloc;
+  // Wait for the MetaX-persisted ack (already satisfied in Cheetah-OW). The
+  // wait span is what distinguishes a stock put from an OW put in traces —
+  // the protocol regression test keys off it.
   if (!reply->persisted) {
+    auto& tracer = obs::Tracer::Global();
+    const uint64_t wspan =
+        tracer.enabled() ? tracer.Begin(obs::SpanKind::kWait, "put.persist_wait", rpc_.id(),
+                                        rpc_.machine().loop().Now())
+                         : 0;
     const bool fired = co_await wait->done.TimedWait(options_.rpc_timeout);
-    t_meta_ack = rpc_.machine().loop().Now();
+    tracer.End(wspan, rpc_.machine().loop().Now(), fired && wait->ok);
     if (!fired || !wait->ok) {
       persist_waits_.erase(reqid);
       co_return Status::Unavailable("MetaX persistence did not complete");
@@ -210,13 +225,6 @@ sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::st
     cached.size = data.size();
     meta_cache_[name] = std::move(cached);
   }
-
-  breakdown_.pre_mds += static_cast<double>(t_sent - t0);
-  breakdown_.mds1 += static_cast<double>(t_alloc - t_sent);
-  breakdown_.mds2 += static_cast<double>(t_meta_ack > t_alloc ? t_meta_ack - t_alloc : 0);
-  breakdown_.pre_ds += static_cast<double>(t_data_sent - t_alloc);
-  breakdown_.ds += static_cast<double>(t_data_ack - t_data_sent);
-  ++breakdown_.samples;
   co_return Status::Ok();
 }
 
@@ -263,6 +271,15 @@ sim::Task<Status> ClientProxy::WriteDataReplicas(const cluster::LogicalVolume& l
 // ---- get ----
 
 sim::Task<Result<std::string>> ClientProxy::Get(std::string name) {
+  auto& tracer = obs::Tracer::Global();
+  const uint64_t op =
+      tracer.enabled() ? tracer.BeginOp("get", rpc_.id(), rpc_.machine().loop().Now()) : 0;
+  Result<std::string> r = co_await GetImpl(std::move(name));
+  tracer.EndOp(op, rpc_.machine().loop().Now(), r.ok());
+  co_return r;
+}
+
+sim::Task<Result<std::string>> ClientProxy::GetImpl(std::string name) {
   CO_RETURN_IF_ERROR(co_await EnsureTopology());
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
     const cluster::PgId pg = topo_.PgOf(name);
@@ -272,7 +289,11 @@ sim::Task<Result<std::string>> ClientProxy::Get(std::string name) {
     // metadata lookup with the data read.
     auto cached = options_.enable_read_cache ? meta_cache_.find(name) : meta_cache_.end();
     if (cached != meta_cache_.end()) {
-      ++stats_.cache_hits;
+      counters_.cache_hits->Add();
+      // Concurrent ops on this proxy can mutate meta_cache_ while the
+      // parallel lookup below is suspended, invalidating the iterator —
+      // work from a copy.
+      const ObMeta cached_meta = cached->second;
       struct ParallelGet {
         Result<std::string> data = Status::Internal("unresolved");
         Result<GetMetaReply> meta = Status::Internal("unresolved");
@@ -282,7 +303,7 @@ sim::Task<Result<std::string>> ClientProxy::Get(std::string name) {
       tasks.push_back([](ClientProxy* self, ObMeta m,
                          std::shared_ptr<ParallelGet> par) -> sim::Task<> {
         par->data = co_await self->ReadData(m, /*verify=*/true);
-      }(this, cached->second, par));
+      }(this, cached_meta, par));
       GetMetaRequest req;
       req.view = topo_.view;
       req.name = name;
@@ -294,8 +315,8 @@ sim::Task<Result<std::string>> ClientProxy::Get(std::string name) {
       co_await sim::WhenAllVoid(std::move(tasks));
       auto& meta = par->meta;
       auto& data0 = par->data;
-      if (meta.ok() && data0.ok() && meta->meta.checksum == cached->second.checksum) {
-        ++stats_.gets;
+      if (meta.ok() && data0.ok() && meta->meta.checksum == cached_meta.checksum) {
+        counters_.gets->Add();
         co_return std::move(data0);
       }
       meta_cache_.erase(name);
@@ -304,7 +325,7 @@ sim::Task<Result<std::string>> ClientProxy::Get(std::string name) {
         // location using the authoritative metadata.
         auto data = co_await ReadData(par->meta->meta, /*verify=*/true);
         if (data.ok()) {
-          ++stats_.gets;
+          counters_.gets->Add();
           co_return data;
         }
       }
@@ -324,7 +345,7 @@ sim::Task<Result<std::string>> ClientProxy::Get(std::string name) {
       }
       LOG_DEBUG << "proxy " << proxy_id_ << " get " << name << " attempt " << attempt
                 << " meta: " << meta.status().ToString();
-      ++stats_.retries;
+      counters_.retries->Add();
       if (meta.status().IsTimeout()) {
         ReportSuspect(primary);
       }
@@ -340,15 +361,15 @@ sim::Task<Result<std::string>> ClientProxy::Get(std::string name) {
       if (options_.enable_read_cache) {
         meta_cache_[name] = meta->meta;
       }
-      ++stats_.gets;
+      counters_.gets->Add();
       co_return data;
     }
     LOG_DEBUG << "proxy " << proxy_id_ << " get " << name << " attempt " << attempt
               << " data: " << data.status().ToString();
-    ++stats_.retries;
+    counters_.retries->Add();
     co_await BackoffAndRefresh(attempt);
   }
-  ++stats_.failures;
+  counters_.failures->Add();
   co_return Status::Unavailable("get exhausted retries");
 }
 
@@ -357,8 +378,12 @@ sim::Task<Result<std::string>> ClientProxy::ReadData(const ObMeta& meta, bool ve
   if (lv == nullptr) {
     co_return Status::StaleView("volume unknown");
   }
+  // Copy what the reads need out of the topology now: a TopologyPush handled
+  // while a read below is suspended reassigns topo_, dangling lv (and any pv
+  // pointer held across an await).
+  const std::vector<cluster::PvId> order = lv->replicas;
+  const uint32_t block_size = lv->block_size;
   // The lease lets a get read from any one of the n data servers (§5.1).
-  std::vector<cluster::PvId> order = lv->replicas;
   const size_t start = rng_.Uniform(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
     const cluster::PhysicalVolume* pv = topo_.FindPv(order[(start + i) % order.size()]);
@@ -368,13 +393,14 @@ sim::Task<Result<std::string>> ClientProxy::ReadData(const ObMeta& meta, bool ve
     DataReadRequest read;
     read.device = pv->DeviceName();
     read.disk_index = pv->disk_index;
-    read.block_size = lv->block_size;
+    read.block_size = block_size;
     read.extents = meta.extents;
     read.length = meta.size;
-    auto r = co_await rpc_.Call(pv->data_server, std::move(read), options_.rpc_timeout);
+    const sim::NodeId target = pv->data_server;
+    auto r = co_await rpc_.Call(target, std::move(read), options_.rpc_timeout);
     if (!r.ok()) {
       if (r.status().IsTimeout()) {
-        ReportSuspect(pv->data_server);
+        ReportSuspect(target);
       }
       continue;
     }
@@ -394,6 +420,15 @@ sim::Task<Result<std::string>> ClientProxy::ReadData(const ObMeta& meta, bool ve
 // ---- delete ----
 
 sim::Task<Status> ClientProxy::Delete(std::string name) {
+  auto& tracer = obs::Tracer::Global();
+  const uint64_t op =
+      tracer.enabled() ? tracer.BeginOp("delete", rpc_.id(), rpc_.machine().loop().Now()) : 0;
+  Status s = co_await DeleteImpl(std::move(name));
+  tracer.EndOp(op, rpc_.machine().loop().Now(), s.ok());
+  co_return s;
+}
+
+sim::Task<Status> ClientProxy::DeleteImpl(std::string name) {
   CO_RETURN_IF_ERROR(co_await EnsureTopology());
   meta_cache_.erase(name);
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
@@ -404,13 +439,13 @@ sim::Task<Status> ClientProxy::Delete(std::string name) {
     req.name = name;
     auto r = co_await rpc_.Call(primary, std::move(req), options_.rpc_timeout);
     if (r.ok()) {
-      ++stats_.deletes;
+      counters_.deletes->Add();
       co_return Status::Ok();
     }
     if (r.status().IsNotFound()) {
       co_return r.status();
     }
-    ++stats_.retries;
+    counters_.retries->Add();
     if (r.status().IsTimeout()) {
       ReportSuspect(primary);
     }
@@ -420,7 +455,7 @@ sim::Task<Status> ClientProxy::Delete(std::string name) {
       co_await BackoffAndRefresh(attempt);
     }
   }
-  ++stats_.failures;
+  counters_.failures->Add();
   co_return Status::Unavailable("delete exhausted retries");
 }
 

@@ -23,6 +23,7 @@
 #include "src/common/random.h"
 #include "src/core/messages.h"
 #include "src/core/options.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/node.h"
 #include "src/sim/sync.h"
 
@@ -36,10 +37,15 @@ class ClientProxy {
   void Start();
 
   // Blocking object operations (complete when committed / data verified).
+  // Each is the root of a traced operation: the obs::Tracer records a kOp
+  // span whose children (RPCs, disk I/O, persistence waits) reconstruct the
+  // critical path — bench/fig6_decomposition.cc derives the paper's latency
+  // breakdown from these instead of hand-placed timers.
   sim::Task<Status> Put(std::string name, std::string data);
   sim::Task<Result<std::string>> Get(std::string name);
   sim::Task<Status> Delete(std::string name);
 
+  // Value snapshot of the registry-backed counters ("proxy@<node>#<i>.*").
   struct Stats {
     uint64_t puts = 0;
     uint64_t gets = 0;
@@ -48,18 +54,11 @@ class ClientProxy {
     uint64_t failures = 0;
     uint64_t cache_hits = 0;
   };
-  const Stats& stats() const { return stats_; }
-
-  // Put-latency decomposition accumulators for Fig. 6 (all in virtual ns).
-  struct Breakdown {
-    double pre_mds = 0;  // preprocessing + request send
-    double mds1 = 0;     // allocation reply received
-    double mds2 = 0;     // MetaX-persisted ack received (delta from mds1)
-    double pre_ds = 0;   // data requests sent
-    double ds = 0;       // data acks received (delta from pre_ds)
-    uint64_t samples = 0;
-  };
-  const Breakdown& breakdown() const { return breakdown_; }
+  Stats stats() const {
+    return Stats{counters_.puts->value(),    counters_.gets->value(),
+                 counters_.deletes->value(), counters_.retries->value(),
+                 counters_.failures->value(), counters_.cache_hits->value()};
+  }
 
   uint64_t view() const { return topo_.view; }
   const cluster::TopologyMap& topology() const { return topo_; }
@@ -70,6 +69,11 @@ class ClientProxy {
     sim::Event done;
     bool ok = false;
   };
+
+  // Op bodies; the public wrappers open/close the root trace span.
+  sim::Task<Status> PutImpl(std::string name, std::string data);
+  sim::Task<Result<std::string>> GetImpl(std::string name);
+  sim::Task<Status> DeleteImpl(std::string name);
 
   sim::Task<Status> EnsureTopology();
   sim::Task<Status> RefreshTopology();
@@ -101,8 +105,15 @@ class ClientProxy {
   std::map<ReqId, std::shared_ptr<PersistWait>> persist_waits_;
   std::unordered_map<std::string, ObMeta> meta_cache_;
 
-  Stats stats_;
-  Breakdown breakdown_;
+  obs::Scope scope_;
+  struct {
+    obs::Counter* puts;
+    obs::Counter* gets;
+    obs::Counter* deletes;
+    obs::Counter* retries;
+    obs::Counter* failures;
+    obs::Counter* cache_hits;
+  } counters_;
 };
 
 }  // namespace cheetah::core

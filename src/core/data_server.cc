@@ -10,7 +10,14 @@ namespace cheetah::core {
 
 DataServer::DataServer(rpc::Node& rpc, CheetahOptions options,
                        std::vector<sim::NodeId> manager_nodes)
-    : rpc_(rpc), options_(std::move(options)), manager_nodes_(std::move(manager_nodes)) {}
+    : rpc_(rpc),
+      options_(std::move(options)),
+      manager_nodes_(std::move(manager_nodes)),
+      scope_("data@" + std::to_string(rpc.id())),
+      counters_{scope_.counter("writes"),          scope_.counter("reads"),
+                scope_.counter("probes"),          scope_.counter("bytes_written"),
+                scope_.counter("bytes_read"),      scope_.counter("volumes_recovered"),
+                scope_.counter("recovery_bytes")} {}
 
 void DataServer::Start() {
   rpc_.Serve<DataWriteRequest>([this](sim::NodeId src, DataWriteRequest req) {
@@ -61,8 +68,8 @@ sim::Task<Result<DataWriteReply>> DataServer::HandleWrite(sim::NodeId src,
       co_return s;
     }
   }
-  ++stats_.writes;
-  stats_.bytes_written += req.data.size();
+  counters_.writes->Add();
+  counters_.bytes_written->Add(req.data.size());
   DataWriteReply reply;
   reply.checksum = req.checksum;
   co_return reply;
@@ -90,8 +97,8 @@ sim::Task<Result<DataReadReply>> DataServer::HandleRead(sim::NodeId src,
     reply.data += *data;
     remaining -= want;
   }
-  ++stats_.reads;
-  stats_.bytes_read += reply.data.size();
+  counters_.reads->Add();
+  counters_.bytes_read->Add(reply.data.size());
   co_return reply;
 }
 
@@ -105,12 +112,12 @@ sim::Task<Result<DataProbeReply>> DataServer::HandleProbe(sim::NodeId src,
     if (!crc.ok() || *crc != req.expected_checksum) {
       reply.present = false;
       reply.checksum = crc.ok() ? *crc : 0;
-      ++stats_.probes;
+      counters_.probes->Add();
       co_return reply;
     }
     reply.checksum = *crc;
   }
-  ++stats_.probes;
+  counters_.probes->Add();
   co_return reply;
 }
 
@@ -168,8 +175,8 @@ sim::Task<Result<cluster::RecoverVolumeReply>> DataServer::HandleRecover(
       co_return s;
     }
   }
-  ++stats_.volumes_recovered;
-  stats_.recovery_bytes += copied;
+  counters_.volumes_recovered->Add();
+  counters_.recovery_bytes->Add(copied);
   // Tell the manager the volume is whole again.
   for (sim::NodeId mgr : manager_nodes_) {
     cluster::RecoveryDoneRequest done;

@@ -21,6 +21,7 @@
 #include "src/cluster/messages.h"
 #include "src/core/messages.h"
 #include "src/core/options.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/node.h"
 
 namespace cheetah::core {
@@ -33,6 +34,7 @@ class DataServer {
   // Registers RPC handlers and starts the heartbeat loop.
   void Start();
 
+  // Value snapshot of the registry-backed counters ("data@<node>#<i>.*").
   struct Stats {
     uint64_t writes = 0;
     uint64_t reads = 0;
@@ -42,7 +44,12 @@ class DataServer {
     uint64_t volumes_recovered = 0;
     uint64_t recovery_bytes = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    return Stats{counters_.writes->value(),          counters_.reads->value(),
+                 counters_.probes->value(),          counters_.bytes_written->value(),
+                 counters_.bytes_read->value(),      counters_.volumes_recovered->value(),
+                 counters_.recovery_bytes->value()};
+  }
 
  private:
   sim::Storage& DiskFor(uint32_t disk_index) {
@@ -62,7 +69,16 @@ class DataServer {
   rpc::Node& rpc_;
   CheetahOptions options_;
   std::vector<sim::NodeId> manager_nodes_;
-  Stats stats_;
+  obs::Scope scope_;
+  struct {
+    obs::Counter* writes;
+    obs::Counter* reads;
+    obs::Counter* probes;
+    obs::Counter* bytes_written;
+    obs::Counter* bytes_read;
+    obs::Counter* volumes_recovered;
+    obs::Counter* recovery_bytes;
+  } counters_;
 };
 
 }  // namespace cheetah::core

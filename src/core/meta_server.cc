@@ -21,7 +21,35 @@ MetaServer::MetaServer(rpc::Node& rpc, CheetahOptions options,
     : rpc_(rpc),
       options_(std::move(options)),
       manager_nodes_(std::move(manager_nodes)),
-      seed_(seed) {}
+      seed_(seed),
+      scope_("meta@" + std::to_string(rpc.id())),
+      counters_{scope_.counter("put_allocs"),
+                scope_.counter("gets"),
+                scope_.counter("deletes"),
+                scope_.counter("replications"),
+                scope_.counter("pg_pulls_served"),
+                scope_.counter("recovered_kvs"),
+                scope_.counter("completed_puts"),
+                scope_.counter("revoked_puts"),
+                scope_.counter("logs_cleaned"),
+                scope_.counter("migrated_objects"),
+                scope_.counter("scrubbed_objects"),
+                scope_.counter("scrub_repairs")} {}
+
+MetaServer::Stats MetaServer::stats() const {
+  return Stats{counters_.put_allocs->value(),
+               counters_.gets->value(),
+               counters_.deletes->value(),
+               counters_.replications->value(),
+               counters_.pg_pulls_served->value(),
+               counters_.recovered_kvs->value(),
+               counters_.completed_puts->value(),
+               counters_.revoked_puts->value(),
+               counters_.logs_cleaned->value(),
+               counters_.migrated_objects->value(),
+               counters_.scrubbed_objects->value(),
+               counters_.scrub_repairs->value()};
+}
 
 void MetaServer::Start() {
   rpc_.Serve<PutAllocRequest>([this](sim::NodeId src, PutAllocRequest req) {
@@ -167,7 +195,7 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
                                                             PutAllocRequest req) {
   const cluster::PgId pg = topo_.pg_count ? topo_.PgOf(req.name) : 0;
   CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
-  ++stats_.put_allocs;
+  counters_.put_allocs->Add();
 
   // Resume path (§5.3 RE-META): the put already allocated — return the same
   // allocation and re-replicate MetaX so the backups converge.
@@ -350,7 +378,7 @@ sim::Task<Result<ReplicateMetaXReply>> MetaServer::HandleReplicate(
   if (!s.ok()) {
     co_return s;
   }
-  ++stats_.replications;
+  counters_.replications->Add();
   co_return ReplicateMetaXReply{};
 }
 
@@ -369,7 +397,7 @@ sim::Task<Result<PutCommitAck>> MetaServer::HandleCommit(sim::NodeId src,
 sim::Task<Result<GetMetaReply>> MetaServer::HandleGet(sim::NodeId src, GetMetaRequest req) {
   const cluster::PgId pg = topo_.pg_count ? topo_.PgOf(req.name) : 0;
   CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
-  ++stats_.gets;
+  counters_.gets->Add();
 
   if (pending_names_.contains(req.name)) {
     co_await WaitPendingResolved(req.name, Millis(5));
@@ -500,7 +528,7 @@ sim::Task<Status> MetaServer::VerifyPending(ReqId reqid) {
     pit->second.committed = true;
     pending_names_.erase(pit->second.name);
   }
-  ++stats_.completed_puts;
+  counters_.completed_puts->Add();
   co_return Status::Ok();
 }
 
@@ -516,7 +544,7 @@ sim::Task<> MetaServer::RevokePut(PendingPut p) {
   co_await DiscardData(p.meta);
   pending_names_.erase(p.name);
   pending_.erase(p.reqid);
-  ++stats_.revoked_puts;
+  counters_.revoked_puts->Add();
 }
 
 sim::Task<> MetaServer::DiscardData(const ObMeta& meta) {
@@ -557,7 +585,7 @@ sim::Task<Result<DeleteReply>> MetaServer::HandleDelete(sim::NodeId src, DeleteR
   if (!meta.ok()) {
     co_return meta.status();
   }
-  ++stats_.deletes;
+  counters_.deletes->Add();
   // §4.3.3: delete = remove the MetaX record and clear the allocator bits —
   // the reclaimed space is immediately reusable; data servers are untouched
   // (the extents are dropped lazily via a discard notification).
@@ -630,7 +658,7 @@ sim::Task<Result<PgPullReply>> MetaServer::HandlePgPull(sim::NodeId src, PgPullR
       }
       reply.kvs.emplace_back(key, std::move(value));
     }
-    ++stats_.pg_pulls_served;
+    counters_.pg_pulls_served->Add();
   }
   co_return reply;
 }
@@ -705,7 +733,7 @@ sim::Task<> MetaServer::AdoptTopology(cluster::TopologyMap next) {
             for (auto& [k, v] : r->kvs) {
               batch.Put(k, v);
             }
-            stats_.recovered_kvs += r->kvs.size();
+            counters_.recovered_kvs->Add(r->kvs.size());
             (void)co_await db_->Write(std::move(batch));
             if (r->next_start_after.empty()) {
               complete = true;
@@ -921,7 +949,7 @@ sim::Task<> MetaServer::MigratePgData(cluster::PgId pg) {
     puts.emplace_back(key, updated.Encode());
     (void)co_await PersistAndReplicate(pg, std::move(puts), {});
     co_await DiscardData(old_meta);
-    ++stats_.migrated_objects;
+    counters_.migrated_objects->Add();
   }
 }
 
@@ -1031,7 +1059,7 @@ sim::Task<> MetaServer::ScrubPg(cluster::PgId pg) {
         bad.push_back(pv);
       }
     }
-    ++stats_.scrubbed_objects;
+    counters_.scrubbed_objects->Add();
     if (bad.empty() || good == nullptr) {
       continue;
     }
@@ -1057,7 +1085,7 @@ sim::Task<> MetaServer::ScrubPg(cluster::PgId pg) {
       write.checksum = meta->checksum;
       auto w = co_await rpc_.Call(pv->data_server, std::move(write), options_.rpc_timeout);
       if (w.ok()) {
-        ++stats_.scrub_repairs;
+        counters_.scrub_repairs->Add();
       }
     }
   }
@@ -1112,7 +1140,7 @@ sim::Task<> MetaServer::CleanLogs() {
     touched.insert(p.meta.lvid);
     pending_names_.erase(p.name);
     pending_.erase(it);
-    ++stats_.logs_cleaned;
+    counters_.logs_cleaned->Add();
   }
   for (auto& [pg, deletes] : deletes_by_pg) {
     (void)co_await PersistAndReplicate(pg, {}, std::move(deletes));

@@ -32,6 +32,7 @@
 #include "src/core/metax.h"
 #include "src/core/options.h"
 #include "src/kv/db.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/node.h"
 
 namespace cheetah::core {
@@ -44,6 +45,7 @@ class MetaServer {
   // Registers handlers and spawns init/heartbeat/cleaner loops.
   void Start();
 
+  // Value snapshot of the registry-backed counters ("meta@<node>#<i>.*").
   struct Stats {
     uint64_t put_allocs = 0;
     uint64_t gets = 0;
@@ -58,7 +60,7 @@ class MetaServer {
     uint64_t scrubbed_objects = 0;
     uint64_t scrub_repairs = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
   const cluster::TopologyMap& topology() const { return topo_; }
   uint64_t view() const { return topo_.view; }
@@ -149,7 +151,21 @@ class MetaServer {
   std::map<ReqId, PendingPut> pending_;
   std::map<std::string, ReqId> pending_names_;
 
-  Stats stats_;
+  obs::Scope scope_;
+  struct {
+    obs::Counter* put_allocs;
+    obs::Counter* gets;
+    obs::Counter* deletes;
+    obs::Counter* replications;
+    obs::Counter* pg_pulls_served;
+    obs::Counter* recovered_kvs;
+    obs::Counter* completed_puts;
+    obs::Counter* revoked_puts;
+    obs::Counter* logs_cleaned;
+    obs::Counter* migrated_objects;
+    obs::Counter* scrubbed_objects;
+    obs::Counter* scrub_repairs;
+  } counters_;
 };
 
 }  // namespace cheetah::core

@@ -6,6 +6,7 @@
 #include "src/common/coding.h"
 #include "src/common/crc32c.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 #include "src/sim/actor.h"
 
 namespace cheetah::kv {
@@ -188,22 +189,29 @@ sim::Task<Status> DB::Write(WriteBatch batch) {
   if (batch.empty()) {
     co_return Status::Ok();
   }
+  auto& tracer = obs::Tracer::Global();
+  const uint64_t span = tracer.enabled()
+                            ? tracer.Begin(obs::SpanKind::kKv, "kv.write",
+                                           storage_->node_id(), storage_->Now())
+                            : 0;
   // A pending freeze wants a quiescent WAL; let it switch memtables first.
   while (freeze_pending_) {
     co_await sim::SleepFor(Micros(5));
   }
   ++in_flight_writes_;
   const std::string record = FrameWalRecord(batch.Encode());
-  stats_.wal_bytes += record.size();
+  counters_.wal_bytes->Add(record.size());
   Status s = co_await storage_->Append(WalName(mem_wal_seq_), record, options_.sync_wal);
   if (!s.ok()) {
     --in_flight_writes_;
+    tracer.End(span, storage_->Now(), /*ok=*/false);
     co_return s;
   }
   ApplyToMem(batch);
-  ++stats_.writes;
+  counters_.writes->Add();
   --in_flight_writes_;
   co_await MaybeScheduleFlush();
+  tracer.End(span, storage_->Now());
   co_return Status::Ok();
 }
 
@@ -230,6 +238,11 @@ sim::Task<> DB::MaybeScheduleFlush() {
 }
 
 sim::Task<> DB::FlushTask() {
+  auto& tracer = obs::Tracer::Global();
+  const uint64_t span = tracer.enabled()
+                            ? tracer.Begin(obs::SpanKind::kKv, "kv.flush",
+                                           storage_->node_id(), storage_->Now())
+                            : 0;
   // Wait for in-flight WAL appends so every record in the old WAL is also in
   // the frozen memtable (otherwise deleting the WAL could lose them).
   while (in_flight_writes_ > 0) {
@@ -260,10 +273,11 @@ sim::Task<> DB::FlushTask() {
     (void)storage_->DeleteFile(WalName(imm_wal_seq_));
     has_imm_ = false;
     imm_.clear();
-    ++stats_.flushes;
+    counters_.flushes->Add();
   } else {
     LOG_WARN << "kv flush failed: " << s.ToString();
   }
+  tracer.End(span, storage_->Now(), s.ok());
   flushing_ = false;
 
   if (static_cast<int>(l0_.size()) >= options_.l0_compaction_trigger && !compacting_) {
@@ -280,6 +294,11 @@ sim::Task<> DB::CompactTask() {
   // stays bounded regardless of how aggressive the trigger is (the property
   // behind the paper's Fig. 11 finding that flush/merge rates barely matter).
   // Old L1 runs are folded in only when the L1 list itself grows long.
+  auto& tracer = obs::Tracer::Global();
+  const uint64_t span = tracer.enabled()
+                            ? tracer.Begin(obs::SpanKind::kKv, "kv.compact",
+                                           storage_->node_id(), storage_->Now())
+                            : 0;
   std::vector<TablePtr> input_l0 = l0_;
   std::vector<TablePtr> input_l1;
   const bool fold_l1 = l1_.size() + 1 > kMaxL1Runs;
@@ -332,10 +351,11 @@ sim::Task<> DB::CompactTask() {
     for (const auto& t : input_l1) {
       (void)storage_->DeleteFile(t->file_name());
     }
-    ++stats_.compactions;
+    counters_.compactions->Add();
   } else {
     LOG_WARN << "kv compaction failed: " << s.ToString();
   }
+  tracer.End(span, storage_->Now(), s.ok());
   compacting_ = false;
 }
 
@@ -378,7 +398,7 @@ std::optional<std::optional<std::string>> DB::LookupInMemory(std::string_view ke
 }
 
 sim::Task<Result<std::string>> DB::Get(std::string key) {
-  ++stats_.gets;
+  counters_.gets->Add();
   uint64_t charged = 0;
   auto found = LookupInMemory(key, &charged);
   if (charged > 0) {

@@ -21,6 +21,7 @@
 
 #include "src/common/status.h"
 #include "src/kv/options.h"
+#include "src/obs/metrics.h"
 #include "src/kv/sstable.h"
 #include "src/kv/write_batch.h"
 #include "src/sim/storage.h"
@@ -31,6 +32,8 @@ namespace cheetah::kv {
 
 class DB {
  public:
+  // Value snapshot of this DB's registry-backed counters (the counters
+  // themselves live in obs::Registry under "kv.<name>#<instance>.*").
   struct Stats {
     uint64_t writes = 0;
     uint64_t flushes = 0;
@@ -63,7 +66,11 @@ class DB {
   // Number of live entries (exact; walks the merged view without disk charge).
   uint64_t CountLiveEntries() const;
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    return Stats{counters_.writes->value(), counters_.flushes->value(),
+                 counters_.compactions->value(), counters_.gets->value(),
+                 counters_.wal_bytes->value()};
+  }
   const Options& options() const { return options_; }
 
   // Test hook: waits until no flush/compaction is running.
@@ -71,7 +78,12 @@ class DB {
 
  private:
   DB(Options options, sim::Storage* storage)
-      : options_(std::move(options)), storage_(storage) {}
+      : options_(std::move(options)),
+        storage_(storage),
+        scope_("kv." + options_.name),
+        counters_{scope_.counter("writes"), scope_.counter("flushes"),
+                  scope_.counter("compactions"), scope_.counter("gets"),
+                  scope_.counter("wal_bytes")} {}
 
   using MemTable = std::map<std::string, std::optional<std::string>>;
 
@@ -119,7 +131,14 @@ class DB {
   std::vector<TablePtr> l0_;  // newest first
   std::vector<TablePtr> l1_;  // tiered runs, newest first
 
-  Stats stats_;
+  obs::Scope scope_;
+  struct {
+    obs::Counter* writes;
+    obs::Counter* flushes;
+    obs::Counter* compactions;
+    obs::Counter* gets;
+    obs::Counter* wal_bytes;
+  } counters_;
 };
 
 }  // namespace cheetah::kv

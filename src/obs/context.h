@@ -1,0 +1,49 @@
+// Operation context: which logical operation the currently-running
+// synchronous code segment is working on behalf of.
+//
+// The simulator threads this through every suspension point: awaiters capture
+// ThisContext() when a coroutine suspends (await_suspend runs synchronously
+// in the suspender's segment) and the resumption callback restores it around
+// h.resume() (see sim::Actor::ResumeAt and the waiter structs in sim/sync.h).
+// rpc::Node carries it across the wire in the Envelope, so a handler on
+// another node runs in the caller's operation. Propagation is unconditional
+// and allocation-free — two u64 copies per suspension — so enabling or
+// disabling the tracer never changes simulation behavior.
+#ifndef SRC_OBS_CONTEXT_H_
+#define SRC_OBS_CONTEXT_H_
+
+#include <cstdint>
+
+namespace cheetah::obs {
+
+struct OpContext {
+  uint64_t op = 0;    // root span id of the operation (0 = no operation)
+  uint64_t span = 0;  // innermost live span; parent for new child spans
+};
+
+namespace internal {
+inline OpContext g_context;
+}  // namespace internal
+
+inline const OpContext& ThisContext() { return internal::g_context; }
+inline void SetContext(OpContext ctx) { internal::g_context = ctx; }
+
+// Installs `ctx` for the current scope and restores the previous context on
+// destruction. Every event-loop entry point that resumes a coroutine wraps
+// the resumption in one of these.
+class ContextGuard {
+ public:
+  explicit ContextGuard(OpContext ctx) : saved_(internal::g_context) {
+    internal::g_context = ctx;
+  }
+  ~ContextGuard() { internal::g_context = saved_; }
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  OpContext saved_;
+};
+
+}  // namespace cheetah::obs
+
+#endif  // SRC_OBS_CONTEXT_H_

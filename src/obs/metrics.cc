@@ -1,0 +1,158 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cstdlib>
+
+#include <cxxabi.h>
+
+namespace cheetah::obs {
+
+namespace {
+
+// Bucket i holds values with bit width i+1, i.e. [2^i, 2^(i+1)) for i > 0 and
+// {0, 1} for i == 0.
+int BucketOf(uint64_t value) {
+  return value == 0 ? 0 : std::bit_width(value) - 1;
+}
+
+uint64_t BucketLow(int bucket) { return bucket == 0 ? 0 : uint64_t{1} << bucket; }
+uint64_t BucketHigh(int bucket) {
+  return bucket >= 63 ? ~uint64_t{0} : (uint64_t{1} << (bucket + 1)) - 1;
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->append("\"");
+  out->append(name);  // metric names contain no characters needing escapes
+  out->append("\": ");
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[BucketOf(value)];
+  min_ = count_ == 0 ? value : std::min(min_, value);
+  max_ = std::max(max_, value);
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::min(std::max(p, 0.0), 1.0);
+  const double target = p * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      const double into =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      const double low = static_cast<double>(BucketLow(i));
+      const double high = static_cast<double>(BucketHigh(i));
+      const auto value = static_cast<uint64_t>(low + into * (high - low));
+      return std::min(std::max(value, min_), max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaked: handles never dangle
+  return *instance;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+void Registry::ZeroAll() {
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+std::string Registry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(g->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  char buf[256];
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %llu, \"mean_ms\": %.6f, \"p50_ms\": %.6f, "
+                  "\"p99_ms\": %.6f, \"max_ms\": %.6f}",
+                  static_cast<unsigned long long>(h->count()), h->mean() / 1e6,
+                  h->PercentileMillis(0.5), h->PercentileMillis(0.99),
+                  static_cast<double>(h->max()) / 1e6);
+    out += buf;
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
+std::string ShortTypeName(const std::type_info& type) {
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(type.name(), nullptr, nullptr, &status);
+  std::string full = (status == 0 && demangled) ? demangled : type.name();
+  std::free(demangled);
+  const size_t pos = full.rfind("::");
+  return pos == std::string::npos ? full : full.substr(pos + 2);
+}
+
+}  // namespace cheetah::obs

@@ -1,0 +1,151 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+namespace cheetah::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kOp:
+      return "op";
+    case SpanKind::kRpc:
+      return "rpc";
+    case SpanKind::kHandler:
+      return "handler";
+    case SpanKind::kNet:
+      return "net";
+    case SpanKind::kDisk:
+      return "disk";
+    case SpanKind::kKv:
+      return "kv";
+    case SpanKind::kQueue:
+      return "queue";
+    case SpanKind::kWait:
+      return "wait";
+  }
+  return "?";
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+uint64_t Tracer::BeginOp(const std::string& name, uint32_t node, Nanos now) {
+  if (!enabled_) {
+    return 0;
+  }
+  const uint64_t id = spans_.size() + 1;
+  Span s;
+  s.id = id;
+  s.op = id;
+  s.parent = 0;
+  s.node = node;
+  s.kind = SpanKind::kOp;
+  s.name = name;
+  s.start = now;
+  spans_.push_back(std::move(s));
+  SetContext({id, id});
+  return id;
+}
+
+void Tracer::EndOp(uint64_t id, Nanos now, bool ok) {
+  if (id == 0 || id > spans_.size()) {
+    return;
+  }
+  Span& s = spans_[id - 1];
+  s.end = now;
+  s.ok = ok;
+  if (ThisContext().op == id) {
+    SetContext({});
+  }
+}
+
+uint64_t Tracer::Begin(SpanKind kind, const std::string& name, uint32_t node,
+                       Nanos now, uint64_t bytes) {
+  return BeginWith(ThisContext(), kind, name, node, now, bytes);
+}
+
+uint64_t Tracer::BeginWith(const OpContext& ctx, SpanKind kind,
+                           const std::string& name, uint32_t node, Nanos now,
+                           uint64_t bytes) {
+  if (!enabled_) {
+    return 0;
+  }
+  const uint64_t id = spans_.size() + 1;
+  Span s;
+  s.id = id;
+  s.op = ctx.op;
+  s.parent = ctx.span;
+  s.node = node;
+  s.kind = kind;
+  s.name = name;
+  s.start = now;
+  s.bytes = bytes;
+  spans_.push_back(std::move(s));
+  return id;
+}
+
+void Tracer::End(uint64_t id, Nanos now, bool ok) {
+  if (id == 0 || id > spans_.size()) {
+    return;
+  }
+  Span& s = spans_[id - 1];
+  s.end = now;
+  s.ok = ok;
+}
+
+const Span* Tracer::Find(uint64_t id) const {
+  if (id == 0 || id > spans_.size()) {
+    return nullptr;
+  }
+  return &spans_[id - 1];
+}
+
+std::vector<const Span*> Tracer::OfOp(uint64_t op) const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans_) {
+    if (s.op == op) {
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+std::vector<const Span*> Tracer::Ops() const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans_) {
+    if (s.kind == SpanKind::kOp) {
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::ToJson() const {
+  std::string out = "[";
+  char buf[256];
+  bool first = true;
+  for (const Span& s : spans_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"id\": %llu, \"op\": %llu, \"parent\": %llu, "
+                  "\"node\": %u, \"kind\": \"%s\", \"name\": \"%s\", "
+                  "\"start\": %llu, \"end\": %llu, \"bytes\": %llu, "
+                  "\"ok\": %s}",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.op),
+                  static_cast<unsigned long long>(s.parent), s.node,
+                  SpanKindName(s.kind), s.name.c_str(),
+                  static_cast<unsigned long long>(s.start),
+                  static_cast<unsigned long long>(s.end),
+                  static_cast<unsigned long long>(s.bytes),
+                  s.ok ? "true" : "false");
+    out += buf;
+  }
+  out += "\n]";
+  return out;
+}
+
+}  // namespace cheetah::obs

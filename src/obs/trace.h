@@ -1,0 +1,99 @@
+// Causal op tracer: records spans (operation id, parent span, node, kind,
+// start/end virtual time) so the critical-path structure of an operation —
+// how many RPCs it issued, what it waited on, where the time went — can be
+// derived from data instead of hand-instrumented timers.
+//
+// Span ids are 1-based indices into the span vector (0 means "no span"), so
+// Find is O(1) and instrumentation never allocates beyond vector growth.
+// Tracing is off by default; when disabled, Begin* return 0 and End(0) is a
+// no-op, so the instrumentation left in the hot paths costs a branch.
+//
+// The "current operation" travels with control flow via obs::OpContext
+// (context.h): BeginOp installs {root, root}; child spans read ThisContext()
+// for their op/parent; rpc::Node copies the context into the Envelope so the
+// remote handler's spans join the caller's operation.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/obs/context.h"
+
+namespace cheetah::obs {
+
+enum class SpanKind : uint8_t {
+  kOp,       // root of a logical client operation (put/get/delete)
+  kRpc,      // request/response pair, measured at the caller
+  kHandler,  // server-side execution of one request
+  kNet,      // one message on the wire
+  kDisk,     // one device I/O charge
+  kKv,       // kv::DB internal phase (write batch, flush, compaction)
+  kQueue,    // time spent queued
+  kWait,     // explicit wait on a remote condition (e.g. persistence ack)
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct Span {
+  uint64_t id = 0;      // 1-based; == index in spans() + 1
+  uint64_t op = 0;      // root span id of the owning operation
+  uint64_t parent = 0;  // enclosing span id, 0 for roots
+  uint32_t node = 0;    // node the span executed on
+  SpanKind kind = SpanKind::kOp;
+  std::string name;     // e.g. "put", "rpc.PutAllocRequest", "disk.write"
+  Nanos start = 0;
+  Nanos end = 0;        // 0 while open
+  uint64_t bytes = 0;   // payload size where meaningful
+  bool ok = true;       // operation outcome, set by EndOp/End
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  void Clear() { spans_.clear(); }
+
+  // Starts a root span and installs it as the current context. Roots are
+  // always parentless — an operation is never a child of another operation,
+  // whatever context the worker loop happened to leak.
+  uint64_t BeginOp(const std::string& name, uint32_t node, Nanos now);
+  // Closes the root and clears the context if it still names this op.
+  void EndOp(uint64_t id, Nanos now, bool ok = true);
+
+  // Starts a child span of the current context (ThisContext()).
+  uint64_t Begin(SpanKind kind, const std::string& name, uint32_t node,
+                 Nanos now, uint64_t bytes = 0);
+  // Starts a child span of an explicit context (used when the current
+  // context belongs to someone else, e.g. rpc::Node::HandleOne before it
+  // installs the envelope's context).
+  uint64_t BeginWith(const OpContext& ctx, SpanKind kind,
+                     const std::string& name, uint32_t node, Nanos now,
+                     uint64_t bytes = 0);
+  void End(uint64_t id, Nanos now, bool ok = true);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  // nullptr for id 0 or out of range.
+  const Span* Find(uint64_t id) const;
+  // All spans belonging to operation `op`, in creation order.
+  std::vector<const Span*> OfOp(uint64_t op) const;
+  // All root (kOp) spans, in creation order.
+  std::vector<const Span*> Ops() const;
+
+  // JSON array of span objects, machine-readable.
+  std::string ToJson() const;
+
+ private:
+  Tracer() = default;
+
+  bool enabled_ = false;
+  std::vector<Span> spans_;
+};
+
+}  // namespace cheetah::obs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -25,6 +25,9 @@
 
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/obs/context.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/machine.h"
 #include "src/sim/network.h"
 #include "src/sim/sync.h"
@@ -46,7 +49,9 @@ concept RpcRequest = requires(const Req r) {
 class Node {
  public:
   Node(sim::Machine& machine, sim::Network& net)
-      : machine_(machine), net_(net) {}
+      : machine_(machine),
+        net_(net),
+        late_replies_(obs::Registry::Global().counter("rpc.late_replies_dropped")) {}
   ~Node() { Detach(); }
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -91,21 +96,55 @@ class Node {
     return CallImpl<Req>(dst, std::move(req), timeout);
   }
 
+  // Number of calls still awaiting a reply (test/diagnostic hook).
+  size_t pending_calls() const { return pending_.size(); }
+
  private:
   template <RpcRequest Req>
   sim::Task<Result<typename Req::Response>> CallImpl(sim::NodeId dst, Req req, Nanos timeout) {
+    // One set of metric handles per request type, looked up once.
+    static const std::string kName = obs::ShortTypeName(typeid(Req));
+    static obs::Histogram* const lat =
+        obs::Registry::Global().histogram("rpc." + kName + ".latency");
+    static obs::Counter* const calls =
+        obs::Registry::Global().counter("rpc." + kName + ".calls");
+    static obs::Counter* const timeouts =
+        obs::Registry::Global().counter("rpc." + kName + ".timeouts");
+    static obs::Counter* const bytes_sent =
+        obs::Registry::Global().counter("rpc." + kName + ".bytes_sent");
+
     const uint64_t call_id = next_call_id_++;
     auto state = std::make_shared<PendingCall>();
     pending_[call_id] = state;
     const size_t bytes = req.wire_size() + kHeaderBytes;
+    calls->Add();
+    bytes_sent->Add(bytes);
+    const Nanos t0 = machine_.loop().Now();
+    auto& tracer = obs::Tracer::Global();
+    const obs::OpContext caller = obs::ThisContext();
+    const uint64_t span =
+        tracer.enabled()
+            ? tracer.Begin(obs::SpanKind::kRpc, "rpc." + kName, id(), t0, bytes)
+            : 0;
     Envelope env{call_id, /*is_reply=*/false, std::type_index(typeid(Req)), Status::Ok(),
                  std::move(req)};
-    net_.Send(id(), dst, std::move(env), bytes);
+    // The envelope carries the caller's operation with the rpc span as
+    // parent, so the remote handler's spans nest under this call.
+    env.ctx = obs::OpContext{caller.op, span != 0 ? span : caller.span};
+    {
+      obs::ContextGuard guard(env.ctx);  // wire span nests under the rpc span
+      net_.Send(id(), dst, std::move(env), bytes);
+    }
     const bool fired = co_await state->done.TimedWait(timeout);
     pending_.erase(call_id);
+    const Nanos t1 = machine_.loop().Now();
+    lat->Record(t1 - t0);
     if (!fired) {
+      timeouts->Add();
+      tracer.End(span, t1, /*ok=*/false);
       co_return Status::Timeout("rpc timeout");
     }
+    tracer.End(span, t1, state->status.ok());
     if (!state->status.ok()) {
       co_return state->status;
     }
@@ -116,10 +155,18 @@ class Node {
   // Fire-and-forget notification (no reply expected).
   template <RpcRequest Req>
   void Notify(sim::NodeId dst, Req req) {
+    static const std::string kName = obs::ShortTypeName(typeid(Req));
+    static obs::Counter* const notifies =
+        obs::Registry::Global().counter("rpc." + kName + ".notifies");
+    static obs::Counter* const bytes_sent =
+        obs::Registry::Global().counter("rpc." + kName + ".bytes_sent");
     const size_t bytes = req.wire_size() + kHeaderBytes;
+    notifies->Add();
+    bytes_sent->Add(bytes);
     Envelope env{next_call_id_++, /*is_reply=*/false, std::type_index(typeid(Req)),
                  Status::Ok(), std::move(req)};
     env.fire_and_forget = true;
+    env.ctx = obs::ThisContext();  // handler joins the notifier's operation
     net_.Send(id(), dst, std::move(env), bytes);
   }
 
@@ -133,6 +180,7 @@ class Node {
     Status status;
     std::any payload;
     bool fire_and_forget = false;
+    obs::OpContext ctx{};  // caller's operation; remote handler spans join it
   };
 
   struct PendingCall {
@@ -145,14 +193,30 @@ class Node {
   sim::Task<> HandleOne(
       std::function<sim::Task<Result<typename Req::Response>>(sim::NodeId, Req)> fn,
       sim::NodeId src, Envelope env) {
+    static const std::string kName = obs::ShortTypeName(typeid(Req));
+    static obs::Histogram* const handle_lat =
+        obs::Registry::Global().histogram("rpc." + kName + ".handle_latency");
     Req req = std::any_cast<Req>(std::move(env.payload));
     const bool fire_and_forget = env.fire_and_forget;
+    const Nanos t0 = machine_.loop().Now();
+    auto& tracer = obs::Tracer::Global();
+    const uint64_t span =
+        tracer.enabled()
+            ? tracer.BeginWith(env.ctx, obs::SpanKind::kHandler, "handle." + kName, id(), t0)
+            : 0;
+    // Run the handler inside the caller's operation so its disk/kv/nested-rpc
+    // spans chain under this handler span.
+    obs::SetContext(obs::OpContext{env.ctx.op, span != 0 ? span : env.ctx.span});
     Result<typename Req::Response> result = co_await fn(src, std::move(req));
+    const Nanos t1 = machine_.loop().Now();
+    handle_lat->Record(t1 - t0);
+    tracer.End(span, t1, result.ok());
     if (fire_and_forget) {
       co_return;
     }
     Envelope reply{env.call_id, /*is_reply=*/true, std::type_index(typeid(void)),
                    result.ok() ? Status::Ok() : result.status(), std::any{}};
+    reply.ctx = env.ctx;
     size_t bytes = kHeaderBytes;
     if (result.ok()) {
       bytes += result.value().wire_size();
@@ -166,6 +230,7 @@ class Node {
     if (env.is_reply) {
       auto it = pending_.find(env.call_id);
       if (it == pending_.end()) {
+        late_replies_->Add();
         return;  // caller gave up or restarted
       }
       auto state = it->second;
@@ -183,6 +248,7 @@ class Node {
 
   sim::Machine& machine_;
   sim::Network& net_;
+  obs::Counter* late_replies_;
   bool attached_ = false;
   uint64_t next_call_id_ = 1;
   std::unordered_map<std::type_index, std::function<void(sim::NodeId, Envelope)>> handlers_;

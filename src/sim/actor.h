@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "src/common/units.h"
+#include "src/obs/context.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/task.h"
 
@@ -54,15 +55,25 @@ class Actor {
   // Re-enables Spawn() after a Kill() (simulating process restart).
   void Revive() { alive_ = true; }
 
-  // Resumes `h` at virtual time `t` unless the epoch has moved on.
+  // Resumes `h` at virtual time `t` unless the epoch has moved on. The
+  // caller's op context (captured here, i.e. at suspension time) is restored
+  // around the resume so the coroutine wakes up in the operation it went to
+  // sleep in.
   void ResumeAt(Nanos t, std::coroutine_handle<> h, uint64_t e) {
-    loop_.ScheduleAt(t, [this, h, e] {
+    ResumeAt(t, h, e, obs::ThisContext());
+  }
+  void ResumeAt(Nanos t, std::coroutine_handle<> h, uint64_t e, obs::OpContext ctx) {
+    loop_.ScheduleAt(t, [this, h, e, ctx] {
       if (AliveAt(e)) {
+        obs::ContextGuard guard(ctx);
         h.resume();
       }
     });
   }
   void ResumeSoon(std::coroutine_handle<> h, uint64_t e) { ResumeAt(loop_.Now(), h, e); }
+  void ResumeSoon(std::coroutine_handle<> h, uint64_t e, obs::OpContext ctx) {
+    ResumeAt(loop_.Now(), h, e, ctx);
+  }
 
   // --- spawn machinery (public only for the promise type) ---
   struct RootTask {

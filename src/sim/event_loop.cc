@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/context.h"
+
 namespace cheetah::sim {
 
 void EventLoop::ScheduleAt(Nanos time, std::function<void()> fn) {
@@ -19,6 +21,9 @@ bool EventLoop::RunOne() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.time;
+  // Each event starts with a clean op context; events that resume a
+  // coroutine on behalf of an operation install its context themselves.
+  obs::SetContext({});
   ev.fn();
   return true;
 }
@@ -33,6 +38,7 @@ void EventLoop::RunUntil(Nanos deadline) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.time;
+    obs::SetContext({});
     ev.fn();
   }
   now_ = std::max(now_, deadline);

@@ -29,6 +29,7 @@ class Machine {
         cpu_(loop, params.cpu_cores) {
     for (int i = 0; i < params.num_disks; ++i) {
       disks_.push_back(std::make_unique<Storage>(loop, params.disk));
+      disks_.back()->set_node_id(node_id);
     }
   }
 

@@ -2,6 +2,9 @@
 
 #include <memory>
 
+#include "src/obs/context.h"
+#include "src/obs/trace.h"
+
 namespace cheetah::sim {
 
 void Network::Register(NodeId id, Handler handler) {
@@ -15,10 +18,11 @@ void Network::Register(NodeId id, Handler handler) {
 void Network::Unregister(NodeId id) { endpoints_.erase(id); }
 
 void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
-  ++messages_sent_;
+  sent_->Add();
+  bytes_->Add(bytes);
   auto sit = endpoints_.find(src);
   if (sit == endpoints_.end()) {
-    ++messages_dropped_;
+    dropped_->Add();
     return;  // sender died between deciding to send and sending
   }
   Nanos arrive;
@@ -30,12 +34,24 @@ void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
     const Nanos departed = sit->second.nic->Reserve(tx_nanos);
     arrive = departed + params_.base_latency;
   }
-  loop_.ScheduleAt(arrive, [this, src, dst, m = std::move(msg), bytes]() mutable {
+  // The wire span and the delivery both belong to the sender's operation; the
+  // receiving handler runs under the sender's context so spans it opens
+  // before the first suspension (e.g. rpc handler spans) chain correctly.
+  const obs::OpContext ctx = obs::ThisContext();
+  auto& tracer = obs::Tracer::Global();
+  uint64_t wire = 0;
+  if (tracer.enabled()) {
+    wire = tracer.BeginWith(ctx, obs::SpanKind::kNet, "net.wire", src,
+                            loop_.Now(), bytes);
+    tracer.End(wire, arrive);
+  }
+  loop_.ScheduleAt(arrive, [this, src, dst, m = std::move(msg), bytes, ctx]() mutable {
     auto dit = endpoints_.find(dst);
     if (dit == endpoints_.end() || Partitioned(src, dst)) {
-      ++messages_dropped_;
+      dropped_->Add();
       return;
     }
+    obs::ContextGuard guard(ctx);
     dit->second.handler(src, std::move(m), bytes);
   });
 }

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/resource.h"
 
@@ -37,7 +38,13 @@ class Network {
  public:
   using Handler = std::function<void(NodeId src, std::any msg, size_t bytes)>;
 
-  Network(EventLoop& loop, NetParams params) : loop_(loop), params_(params) {}
+  Network(EventLoop& loop, NetParams params)
+      : loop_(loop),
+        params_(params),
+        scope_("sim.net"),
+        sent_(scope_.counter("messages_sent")),
+        dropped_(scope_.counter("messages_dropped")),
+        bytes_(scope_.counter("bytes")) {}
 
   void Register(NodeId id, Handler handler);
   void Unregister(NodeId id);
@@ -50,8 +57,8 @@ class Network {
   void ClearPartitions() { partitions_.clear(); }
   bool Partitioned(NodeId a, NodeId b) const;
 
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_sent() const { return sent_->value(); }
+  uint64_t messages_dropped() const { return dropped_->value(); }
 
  private:
   struct Endpoint {
@@ -61,10 +68,12 @@ class Network {
 
   EventLoop& loop_;
   NetParams params_;
+  obs::Scope scope_;
+  obs::Counter* sent_;
+  obs::Counter* dropped_;
+  obs::Counter* bytes_;
   std::unordered_map<NodeId, Endpoint> endpoints_;
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace cheetah::sim

@@ -2,7 +2,20 @@
 
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace cheetah::sim {
+
+void Storage::RecordIo(const char* what, uint64_t bytes, Nanos done) {
+  ops_->Add();
+  io_bytes_->Add(bytes);
+  auto& tracer = obs::Tracer::Global();
+  if (tracer.enabled()) {
+    const uint64_t span =
+        tracer.Begin(obs::SpanKind::kDisk, what, node_id_, Now(), bytes);
+    tracer.End(span, done);
+  }
+}
 
 Task<Status> Storage::Append(std::string name, std::string data, bool sync) {
   co_await ChargeFileWrite(data.size());

@@ -21,6 +21,7 @@
 
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
 #include "src/sim/resource.h"
 #include "src/sim/task.h"
 
@@ -47,19 +48,34 @@ struct DiskParams {
 class Storage {
  public:
   Storage(EventLoop& loop, DiskParams params)
-      : params_(params), channels_(loop, params.channels), bus_(loop, 1) {}
+      : loop_(&loop),
+        params_(params),
+        channels_(loop, params.channels),
+        bus_(loop, 1),
+        scope_("sim.disk"),
+        ops_(scope_.counter("ops")),
+        io_bytes_(scope_.counter("bytes")) {}
 
   const DiskParams& params() const { return params_; }
+
+  // Owning node, for span attribution; set by the Machine that owns the disk.
+  void set_node_id(uint32_t id) { node_id_ = id; }
+  uint32_t node_id() const { return node_id_; }
+  Nanos Now() const { return loop_->Now(); }
 
   // ---- latency primitives ----
   // An I/O pays a fixed per-op cost on one of `channels` queue slots plus a
   // transfer time serialized on the single shared-bandwidth bus; it completes
-  // when both are done.
+  // when both are done. The media occupancy [now, done] is recorded as a
+  // closed disk span of the current operation.
   struct IoAwaiter {
+    Storage* storage;
     Resource& channels;
     Resource& bus;
     Nanos base;
     Nanos transfer;
+    const char* what;  // "disk.write", "disk.read", "disk.fsync", ...
+    uint64_t bytes;
     Actor* actor = nullptr;
 
     void SetActor(Actor* a) { actor = a; }
@@ -67,28 +83,36 @@ class Storage {
     void await_suspend(std::coroutine_handle<> h) {
       const Nanos channel_done = channels.Reserve(base);
       const Nanos bus_done = transfer > 0 ? bus.Reserve(transfer) : 0;
-      actor->ResumeAt(std::max(channel_done, bus_done), h, actor->epoch());
+      const Nanos done = std::max(channel_done, bus_done);
+      storage->RecordIo(what, bytes, done);
+      actor->ResumeAt(done, h, actor->epoch());
     }
     void await_resume() const noexcept {}
   };
   IoAwaiter ChargeWrite(uint64_t bytes) {
-    return IoAwaiter{channels_, bus_, params_.write_base,
-                     BwNanos(bytes, params_.write_bw_bytes_per_sec)};
+    return IoAwaiter{this, channels_, bus_, params_.write_base,
+                     BwNanos(bytes, params_.write_bw_bytes_per_sec), "disk.write", bytes};
   }
   IoAwaiter ChargeRead(uint64_t bytes) {
-    return IoAwaiter{channels_, bus_, params_.read_base,
-                     BwNanos(bytes, params_.read_bw_bytes_per_sec)};
+    return IoAwaiter{this, channels_, bus_, params_.read_base,
+                     BwNanos(bytes, params_.read_bw_bytes_per_sec), "disk.read", bytes};
   }
-  IoAwaiter ChargeFsync() { return IoAwaiter{channels_, bus_, params_.fsync_base, 0}; }
+  IoAwaiter ChargeFsync() {
+    return IoAwaiter{this, channels_, bus_, params_.fsync_base, 0, "disk.fsync", 0};
+  }
 
-  // File-plane variants: sequential log/SSTable streams get their own NAND
-  // bandwidth and do not head-of-line-block small volume I/O (and vice
-  // versa); the per-op fixed cost still shares the channel queue.
-  Resource::UseAwaiter ChargeFileWrite(uint64_t bytes) {
-    return channels_.Use(params_.write_base + BwNanos(bytes, params_.write_bw_bytes_per_sec));
+  // File-plane variants: sequential log/SSTable streams pay base + transfer
+  // as one channel reservation (no shared-bus serialization) and do not
+  // head-of-line-block small volume I/O (and vice versa).
+  IoAwaiter ChargeFileWrite(uint64_t bytes) {
+    return IoAwaiter{this, channels_, bus_,
+                     params_.write_base + BwNanos(bytes, params_.write_bw_bytes_per_sec),
+                     0, "disk.file_write", bytes};
   }
-  Resource::UseAwaiter ChargeFileRead(uint64_t bytes) {
-    return channels_.Use(params_.read_base + BwNanos(bytes, params_.read_bw_bytes_per_sec));
+  IoAwaiter ChargeFileRead(uint64_t bytes) {
+    return IoAwaiter{this, channels_, bus_,
+                     params_.read_base + BwNanos(bytes, params_.read_bw_bytes_per_sec),
+                     0, "disk.file_read", bytes};
   }
 
   // ---- flat filesystem ----
@@ -164,9 +188,19 @@ class Storage {
     return static_cast<Nanos>(static_cast<double>(bytes) / bw * 1e9);
   }
 
+  // Counts the I/O and, when tracing, records a closed [now, done] disk span
+  // attributed to the current op context. Defined in storage.cc to keep
+  // trace.h out of this header.
+  void RecordIo(const char* what, uint64_t bytes, Nanos done);
+
+  EventLoop* loop_;
   DiskParams params_;
   Resource channels_;
   Resource bus_;  // shared bandwidth
+  obs::Scope scope_;
+  obs::Counter* ops_;
+  obs::Counter* io_bytes_;
+  uint32_t node_id_ = 0;
   bool store_volume_content_ = true;
   std::unordered_map<std::string, File> files_;
   std::unordered_map<std::string, Volume> volumes_;

@@ -37,7 +37,9 @@ class Event {
         w.state->settled = true;
         w.state->event_fired = true;
       }
-      w.actor->ResumeSoon(w.handle, w.epoch);
+      // Resume in the waiter's op context (captured at suspension), not the
+      // setter's: the setter may be working on an unrelated operation.
+      w.actor->ResumeSoon(w.handle, w.epoch, w.ctx);
     }
   }
 
@@ -54,7 +56,7 @@ class Event {
     bool await_ready() const noexcept { return event.set_; }
     void await_suspend(std::coroutine_handle<> h) {
       assert(actor && "Event::Wait outside an actor coroutine");
-      event.waiters_.push_back({actor, actor->epoch(), h, nullptr});
+      event.waiters_.push_back({actor, actor->epoch(), h, nullptr, obs::ThisContext()});
     }
     void await_resume() const noexcept {}
   };
@@ -70,15 +72,17 @@ class Event {
     void await_suspend(std::coroutine_handle<> h) {
       assert(actor && "Event::TimedWait outside an actor coroutine");
       state = std::make_shared<TimedState>();
-      event.waiters_.push_back({actor, actor->epoch(), h, state});
+      const obs::OpContext ctx = obs::ThisContext();
+      event.waiters_.push_back({actor, actor->epoch(), h, state, ctx});
       actor->loop().ScheduleAfter(
-          timeout, [a = actor, e = actor->epoch(), h, s = state] {
+          timeout, [a = actor, e = actor->epoch(), h, s = state, ctx] {
             if (s->settled) {
               return;
             }
             s->settled = true;
             s->event_fired = false;
             if (a->AliveAt(e)) {
+              obs::ContextGuard guard(ctx);
               h.resume();
             }
           });
@@ -99,6 +103,7 @@ class Event {
     uint64_t epoch;
     std::coroutine_handle<> handle;
     std::shared_ptr<TimedState> state;  // null for untimed waits
+    obs::OpContext ctx;                 // waiter's op context at suspension
   };
 
   bool set_ = false;
@@ -137,7 +142,7 @@ class Queue {
     if (!waiters_.empty()) {
       Waiter w = waiters_.front();
       waiters_.pop_front();
-      w.actor->ResumeSoon(w.handle, w.epoch);
+      w.actor->ResumeSoon(w.handle, w.epoch, w.ctx);
     }
   }
 
@@ -152,7 +157,7 @@ class Queue {
     bool await_ready() const noexcept { return !queue.items_.empty(); }
     void await_suspend(std::coroutine_handle<> h) {
       assert(actor && "Queue::Pop outside an actor coroutine");
-      queue.waiters_.push_back({actor, actor->epoch(), h});
+      queue.waiters_.push_back({actor, actor->epoch(), h, obs::ThisContext()});
     }
     T await_resume() {
       // A racing consumer may have taken the item; in the single-threaded
@@ -173,6 +178,7 @@ class Queue {
     Actor* actor;
     uint64_t epoch;
     std::coroutine_handle<> handle;
+    obs::OpContext ctx;
   };
 
   std::deque<T> items_;

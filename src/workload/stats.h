@@ -17,17 +17,23 @@ class LatencyRecorder {
   void Record(Nanos latency) {
     samples_.push_back(latency);
     sum_ += static_cast<double>(latency);
+    sorted_ = false;
   }
 
   uint64_t count() const { return samples_.size(); }
   double MeanMillis() const {
     return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size()) / 1e6;
   }
-  double PercentileMillis(double p) {
+  // Sorts lazily: the first percentile query after a Record/Merge pays the
+  // O(n log n) sort; subsequent queries (p50, p99, p999, ...) are O(1).
+  double PercentileMillis(double p) const {
     if (samples_.empty()) {
       return 0.0;
     }
-    std::sort(samples_.begin(), samples_.end());
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
     const size_t idx = std::min(samples_.size() - 1,
                                 static_cast<size_t>(p * static_cast<double>(samples_.size())));
     return static_cast<double>(samples_[idx]) / 1e6;
@@ -35,15 +41,22 @@ class LatencyRecorder {
   void Clear() {
     samples_.clear();
     sum_ = 0;
+    sorted_ = false;
   }
 
   void Merge(const LatencyRecorder& other) {
     samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
     sum_ += other.sum_;
+    sorted_ = false;
   }
 
+  // Raw samples in recording order (unless a percentile query sorted them);
+  // the determinism guard test compares these across runs.
+  const std::vector<Nanos>& samples() const { return samples_; }
+
  private:
-  std::vector<Nanos> samples_;
+  mutable std::vector<Nanos> samples_;
+  mutable bool sorted_ = false;
   double sum_ = 0;
 };
 

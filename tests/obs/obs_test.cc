@@ -1,0 +1,205 @@
+// Unit tests for the observability layer: registry handles, scope instance
+// isolation, histogram percentiles, op-context propagation, and the tracer's
+// span bookkeeping.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/context.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace cheetah::obs {
+namespace {
+
+TEST(MetricsTest, CounterFindOrCreateReturnsSameHandle) {
+  Counter* a = Registry::Global().counter("test.obs.counter_identity");
+  Counter* b = Registry::Global().counter("test.obs.counter_identity");
+  EXPECT_EQ(a, b);
+  a->Reset();
+  a->Add();
+  a->Add(41);
+  EXPECT_EQ(b->value(), 42u);
+}
+
+TEST(MetricsTest, GaugeTracksSignedValues) {
+  Gauge* g = Registry::Global().gauge("test.obs.gauge");
+  g->Reset();
+  g->Set(10);
+  g->Add(-25);
+  EXPECT_EQ(g->value(), -15);
+}
+
+TEST(MetricsTest, ScopeInstancesAreIsolated) {
+  // Two scopes with the same prefix model "the same component, rebuilt":
+  // their metrics must be distinct objects so the second instance starts
+  // from zero.
+  Scope first("test.obs.server");
+  Scope second("test.obs.server");
+  EXPECT_NE(first.prefix(), second.prefix());
+  Counter* c1 = first.counter("ops");
+  Counter* c2 = second.counter("ops");
+  EXPECT_NE(c1, c2);
+  c1->Add(7);
+  EXPECT_EQ(c2->value(), 0u);
+}
+
+TEST(MetricsTest, HistogramPercentilesBracketObservedRange) {
+  Histogram* h = Registry::Global().histogram("test.obs.hist");
+  h->Reset();
+  EXPECT_EQ(h->Percentile(0.5), 0u);  // empty
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h->Record(v * 1000);  // 1us .. 1ms
+  }
+  EXPECT_EQ(h->count(), 1000u);
+  EXPECT_EQ(h->min(), 1000u);
+  EXPECT_EQ(h->max(), 1000000u);
+  EXPECT_DOUBLE_EQ(h->mean(), 500500.0);
+  const uint64_t p50 = h->Percentile(0.5);
+  const uint64_t p99 = h->Percentile(0.99);
+  // Power-of-two buckets are coarse; percentiles must stay ordered and
+  // inside the observed range.
+  EXPECT_GE(p50, h->min());
+  EXPECT_LE(p50, h->max());
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, h->max());
+  EXPECT_EQ(h->Percentile(0.0), h->min());
+  EXPECT_EQ(h->Percentile(1.0), h->max());
+}
+
+TEST(MetricsTest, HistogramHandlesZeroAndHugeValues) {
+  Histogram* h = Registry::Global().histogram("test.obs.hist_edges");
+  h->Reset();
+  h->Record(0);
+  h->Record(~0ull);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->min(), 0u);
+  EXPECT_EQ(h->max(), ~0ull);
+}
+
+TEST(MetricsTest, ZeroAllPreservesHandles) {
+  Counter* c = Registry::Global().counter("test.obs.zeroed");
+  c->Add(5);
+  Registry::Global().ZeroAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(Registry::Global().counter("test.obs.zeroed"), c);
+}
+
+TEST(MetricsTest, ToJsonContainsRegisteredNames) {
+  Registry::Global().counter("test.obs.json_counter")->Add(3);
+  const std::string json = Registry::Global().ToJson();
+  EXPECT_NE(json.find("\"test.obs.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsTest, ShortTypeNameStripsNamespaces) {
+  EXPECT_EQ(ShortTypeName(typeid(Counter)), "Counter");
+  EXPECT_EQ(ShortTypeName(typeid(int)), "int");
+}
+
+TEST(ContextTest, GuardRestoresOnExit) {
+  SetContext({});
+  EXPECT_EQ(ThisContext().op, 0u);
+  {
+    ContextGuard outer({7, 8});
+    EXPECT_EQ(ThisContext().op, 7u);
+    EXPECT_EQ(ThisContext().span, 8u);
+    {
+      ContextGuard inner({9, 10});
+      EXPECT_EQ(ThisContext().op, 9u);
+    }
+    EXPECT_EQ(ThisContext().op, 7u);  // inner restored outer
+  }
+  EXPECT_EQ(ThisContext().op, 0u);
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Clear();
+    Tracer::Global().set_enabled(true);
+    SetContext({});
+  }
+  void TearDown() override {
+    Tracer::Global().set_enabled(false);
+    Tracer::Global().Clear();
+    SetContext({});
+  }
+};
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer::Global().set_enabled(false);
+  EXPECT_EQ(Tracer::Global().BeginOp("put", 1, 100), 0u);
+  EXPECT_EQ(Tracer::Global().Begin(SpanKind::kRpc, "rpc.X", 1, 100), 0u);
+  Tracer::Global().End(0, 200);    // must be a no-op
+  Tracer::Global().EndOp(0, 200);  // must be a no-op
+  EXPECT_TRUE(Tracer::Global().spans().empty());
+}
+
+TEST_F(TracerTest, ChildSpansInheritTheCurrentOp) {
+  auto& t = Tracer::Global();
+  const uint64_t op = t.BeginOp("put", 3, 100);
+  ASSERT_NE(op, 0u);
+  EXPECT_EQ(ThisContext().op, op);
+
+  const uint64_t rpc = t.Begin(SpanKind::kRpc, "rpc.X", 3, 110, 64);
+  const Span* rpc_span = t.Find(rpc);
+  ASSERT_NE(rpc_span, nullptr);
+  EXPECT_EQ(rpc_span->op, op);
+  EXPECT_EQ(rpc_span->parent, op);
+  EXPECT_EQ(rpc_span->bytes, 64u);
+  EXPECT_EQ(rpc_span->end, 0u);  // still open
+
+  // A handler on another node joins via the explicit envelope context.
+  const uint64_t handler =
+      t.BeginWith({op, rpc}, SpanKind::kHandler, "handle.X", 9, 120);
+  EXPECT_EQ(t.Find(handler)->parent, rpc);
+  EXPECT_EQ(t.Find(handler)->op, op);
+
+  t.End(handler, 150);
+  t.End(rpc, 160, false);
+  EXPECT_EQ(t.Find(rpc)->end, 160u);
+  EXPECT_FALSE(t.Find(rpc)->ok);
+
+  t.EndOp(op, 200);
+  EXPECT_EQ(ThisContext().op, 0u);  // EndOp cleared the context
+  EXPECT_EQ(t.Find(op)->end, 200u);
+
+  EXPECT_EQ(t.Ops().size(), 1u);
+  EXPECT_EQ(t.OfOp(op).size(), 3u);
+}
+
+TEST_F(TracerTest, RootsAreNeverNested) {
+  auto& t = Tracer::Global();
+  const uint64_t first = t.BeginOp("put", 1, 100);
+  const uint64_t second = t.BeginOp("get", 1, 150);  // leaked context
+  EXPECT_EQ(t.Find(second)->parent, 0u);
+  EXPECT_EQ(t.Find(second)->op, second);
+  t.EndOp(second, 200);
+  t.EndOp(first, 300);
+  EXPECT_EQ(t.Ops().size(), 2u);
+}
+
+TEST_F(TracerTest, EndOpOnlyClearsItsOwnContext) {
+  auto& t = Tracer::Global();
+  const uint64_t first = t.BeginOp("put", 1, 100);
+  const uint64_t second = t.BeginOp("get", 1, 150);
+  // Context now belongs to `second`; ending `first` must not clear it.
+  t.EndOp(first, 200);
+  EXPECT_EQ(ThisContext().op, second);
+  t.EndOp(second, 250);
+  EXPECT_EQ(ThisContext().op, 0u);
+}
+
+TEST_F(TracerTest, ToJsonEmitsAllSpans) {
+  auto& t = Tracer::Global();
+  const uint64_t op = t.BeginOp("put", 1, 100);
+  t.EndOp(op, 250);
+  const std::string json = t.ToJson();
+  EXPECT_NE(json.find("\"put\""), std::string::npos);
+  EXPECT_NE(json.find("\"op\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cheetah::obs

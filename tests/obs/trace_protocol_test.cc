@@ -1,0 +1,185 @@
+// Trace-based protocol regression tests: the span log of a single put must
+// show the paper's exact RPC structure — one allocation round trip, three
+// data writes, two MetaX replications — and the persistence-wait behavior
+// that separates full Cheetah (reply first, persist in parallel) from
+// Cheetah-OW (persist before replying, Fig. 9).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/testbed.h"
+#include "src/obs/trace.h"
+
+namespace cheetah::core {
+namespace {
+
+using obs::Span;
+using obs::SpanKind;
+using obs::Tracer;
+
+class TraceProtocolTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::Global().set_enabled(false);
+    Tracer::Global().Clear();
+  }
+
+  void Boot(bool ordered_writes) {
+    TestbedConfig config;
+    config.meta_machines = 3;
+    config.data_machines = 4;
+    config.proxies = 2;
+    config.pg_count = 8;
+    config.disks_per_data_machine = 2;
+    config.pvs_per_disk = 3;
+    config.lv_capacity_bytes = MiB(128);
+    config.options.ordered_writes = ordered_writes;
+    bed_ = std::make_unique<Testbed>(std::move(config));
+    ASSERT_TRUE(bed_->Boot().ok());
+    // Untraced warm-up so the traced put doesn't include the proxy's
+    // first-use topology fetch.
+    ASSERT_TRUE(bed_->PutObject(0, "warmup", std::string(4096, 'w')).ok());
+  }
+
+  // Runs one traced put and returns its root span.
+  const Span* TracedPut() {
+    Tracer::Global().Clear();
+    Tracer::Global().set_enabled(true);
+    Status s = bed_->PutObject(0, "traced", std::string(8192, 't'));
+    Tracer::Global().set_enabled(false);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    auto ops = Tracer::Global().Ops();
+    EXPECT_EQ(ops.size(), 1u);
+    if (ops.size() != 1u) return nullptr;
+    EXPECT_EQ(ops[0]->name, "put");
+    EXPECT_TRUE(ops[0]->ok);
+    EXPECT_NE(ops[0]->end, 0u);
+    return ops[0];
+  }
+
+  std::vector<const Span*> Named(uint64_t op, SpanKind kind, const std::string& name) {
+    std::vector<const Span*> out;
+    for (const Span* s : Tracer::Global().OfOp(op)) {
+      if (s->kind == kind && s->name == name) out.push_back(s);
+    }
+    return out;
+  }
+
+  std::unique_ptr<Testbed> bed_;
+};
+
+TEST_F(TraceProtocolTest, StockPutPipelinesPersistenceWithDataWrites) {
+  Boot(/*ordered_writes=*/false);
+  const Span* op = TracedPut();
+  ASSERT_NE(op, nullptr);
+
+  // Exact RPC structure: 1 allocation, replication-1 = 2 MetaX replications,
+  // replication = 3 data writes. Notifications (MetaPersistedNotify,
+  // PutCommitNotify) are fire-and-forget and must not appear as RPC spans.
+  auto alloc = Named(op->id, SpanKind::kRpc, "rpc.PutAllocRequest");
+  auto data = Named(op->id, SpanKind::kRpc, "rpc.DataWriteRequest");
+  auto repl = Named(op->id, SpanKind::kRpc, "rpc.ReplicateMetaXRequest");
+  ASSERT_EQ(alloc.size(), 1u);
+  ASSERT_EQ(data.size(), 3u);
+  ASSERT_EQ(repl.size(), 2u);
+  EXPECT_TRUE(Named(op->id, SpanKind::kRpc, "rpc.MetaPersistedNotify").empty());
+  EXPECT_TRUE(Named(op->id, SpanKind::kRpc, "rpc.PutCommitNotify").empty());
+
+  // The remote side joined the caller's operation via the envelope context.
+  EXPECT_EQ(Named(op->id, SpanKind::kHandler, "handle.PutAllocRequest").size(), 1u);
+  EXPECT_EQ(Named(op->id, SpanKind::kHandler, "handle.DataWriteRequest").size(), 3u);
+  EXPECT_EQ(Named(op->id, SpanKind::kHandler, "handle.ReplicateMetaXRequest").size(), 2u);
+
+  // Every MetaX copy is a KV write (primary + 2 backups); the data lands on
+  // disk on the data servers.
+  EXPECT_GE(Named(op->id, SpanKind::kKv, "kv.write").size(), 3u);
+  size_t disk_spans = 0;
+  for (const Span* s : Tracer::Global().OfOp(op->id)) {
+    if (s->kind == SpanKind::kDisk) ++disk_spans;
+  }
+  EXPECT_GE(disk_spans, 3u);
+
+  // Full Cheetah replies before MetaX is durable: exactly one persistence
+  // wait, resolved only after both replications finished.
+  auto wait = Named(op->id, SpanKind::kWait, "put.persist_wait");
+  ASSERT_EQ(wait.size(), 1u);
+  ASSERT_NE(wait[0]->end, 0u);
+  for (const Span* r : repl) {
+    ASSERT_NE(r->end, 0u);
+    EXPECT_GE(wait[0]->end, r->end);
+  }
+
+  // The parallel pipeline: the allocation RPC returns before replication is
+  // done, and the data writes overlap the persistence wait instead of
+  // queuing behind it.
+  ASSERT_NE(alloc[0]->end, 0u);
+  for (const Span* r : repl) {
+    EXPECT_GT(r->end, alloc[0]->end) << "replication must outlive the alloc reply";
+  }
+  Nanos data_start = data[0]->start;
+  Nanos data_end = 0;
+  for (const Span* d : data) {
+    ASSERT_NE(d->end, 0u);
+    data_start = std::min(data_start, d->start);
+    data_end = std::max(data_end, d->end);
+  }
+  EXPECT_GE(data_start, alloc[0]->end);  // data goes out after the alloc reply
+  EXPECT_LT(data_start, wait[0]->end);   // ...while persistence is in flight
+}
+
+TEST_F(TraceProtocolTest, OrderedWritesSerializePersistenceBeforeReply) {
+  Boot(/*ordered_writes=*/true);
+  const Span* op = TracedPut();
+  ASSERT_NE(op, nullptr);
+
+  auto alloc = Named(op->id, SpanKind::kRpc, "rpc.PutAllocRequest");
+  auto data = Named(op->id, SpanKind::kRpc, "rpc.DataWriteRequest");
+  auto repl = Named(op->id, SpanKind::kRpc, "rpc.ReplicateMetaXRequest");
+  ASSERT_EQ(alloc.size(), 1u);
+  ASSERT_EQ(data.size(), 3u);
+  ASSERT_EQ(repl.size(), 2u);
+
+  // OW restores the ordering constraint: the reply already certifies
+  // persistence, so the proxy never waits...
+  EXPECT_TRUE(Named(op->id, SpanKind::kWait, "put.persist_wait").empty());
+
+  // ...because replication ran inside the allocation round trip...
+  ASSERT_NE(alloc[0]->end, 0u);
+  for (const Span* r : repl) {
+    ASSERT_NE(r->end, 0u);
+    EXPECT_GE(r->start, alloc[0]->start);
+    EXPECT_LE(r->end, alloc[0]->end);
+  }
+
+  // ...and the data writes only start after the (now slower) alloc reply.
+  for (const Span* d : data) {
+    EXPECT_GE(d->start, alloc[0]->end);
+  }
+}
+
+TEST_F(TraceProtocolTest, GetAndDeleteRecordTheirOwnRoots) {
+  Boot(/*ordered_writes=*/false);
+  ASSERT_TRUE(bed_->PutObject(0, "gd", std::string(4096, 'g')).ok());
+  Tracer::Global().Clear();
+  Tracer::Global().set_enabled(true);
+  ASSERT_TRUE(bed_->GetObject(0, "gd").ok());
+  ASSERT_TRUE(bed_->DeleteObject(0, "gd").ok());
+  Tracer::Global().set_enabled(false);
+
+  auto ops = Tracer::Global().Ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0]->name, "get");
+  EXPECT_EQ(ops[1]->name, "delete");
+  // Span ids are per-op roots: the two ops' children must not mix.
+  for (const Span* s : Tracer::Global().OfOp(ops[0]->id)) {
+    EXPECT_EQ(s->op, ops[0]->id);
+  }
+  // A delete never touches a data server (§3.1): no data RPCs in its op.
+  EXPECT_TRUE(Named(ops[1]->id, SpanKind::kRpc, "rpc.DataWriteRequest").empty());
+  EXPECT_TRUE(Named(ops[1]->id, SpanKind::kRpc, "rpc.DataReadRequest").empty());
+}
+
+}  // namespace
+}  // namespace cheetah::core

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/node.h"
 
 namespace cheetah::rpc {
@@ -149,6 +150,26 @@ TEST_F(RpcTest, ServerCrashMidHandlerTimesOutCaller) {
   server_.Detach();
   loop_.Run();
   EXPECT_TRUE(got.IsTimeout());
+}
+
+TEST_F(RpcTest, LateReplyAfterTimeoutIsDropped) {
+  server_.Serve<SlowRequest>([](NodeId, SlowRequest req) -> Task<Result<SlowReply>> {
+    co_await sim::SleepFor(req.delay);
+    co_return SlowReply{};
+  });
+  obs::Counter* dropped = obs::Registry::Global().counter("rpc.late_replies_dropped");
+  const uint64_t dropped_before = dropped->value();
+  Status got = Status::Ok();
+  client_machine_.actor().Spawn([](Node* c, Status* out) -> Task<> {
+    auto r = co_await c->Call(1, SlowRequest(Millis(80)), Millis(20));
+    *out = r.status();
+  }(&client_, &got));
+  loop_.RunUntil(Millis(40));  // past the timeout, before the reply exists
+  EXPECT_TRUE(got.IsTimeout());
+  EXPECT_EQ(client_.pending_calls(), 0u);  // the timeout erased the pending slot
+  loop_.Run();  // the reply lands at ~80ms and must be dropped without crashing
+  EXPECT_EQ(client_.pending_calls(), 0u);
+  EXPECT_EQ(dropped->value(), dropped_before + 1);
 }
 
 TEST_F(RpcTest, NotifyIsFireAndForget) {
