@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Chaos hunt driver: runs the chaos sweep (variants x nemesis schedules) for a
+# range of seeds and prints a replay command for every failing seed. The
+# simulator is fully deterministic, so one seed + the printed schedule
+# reproduces a failure byte-for-byte.
+#
+# Usage: scripts/chaos.sh [--seeds N] [--from K] [--preset default|sanitize]
+#   --seeds N    run seeds 1..N (default 10)
+#   --from K     start at seed K instead of 1 (resume a hunt)
+#   --preset P   CMake preset to build/run under (default: default)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seeds=10
+from=1
+preset=default
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --seeds) seeds="$2"; shift 2 ;;
+    --from) from="$2"; shift 2 ;;
+    --preset) preset="$2"; shift 2 ;;
+    *) echo "usage: scripts/chaos.sh [--seeds N] [--from K] [--preset default|sanitize]" >&2
+       exit 2 ;;
+  esac
+done
+
+builddir=build
+[[ "$preset" == "sanitize" ]] && builddir=build-sanitize
+if [[ ! -f "$builddir/CMakeCache.txt" ]]; then
+  cmake --preset "$preset"
+fi
+cmake --build --preset "$preset" -j "$(nproc)" --target chaos_sweep_test
+
+# One ctest invocation only covers the default seed set (test names are fixed
+# at discovery time), so the hunt drives the gtest binary directly with one
+# seed per run — a failure then pins that seed exactly.
+failed=()
+for ((s = from; s < from + seeds; s++)); do
+  echo "== chaos seed $s =="
+  if ! CHEETAH_CHAOS_SEEDS="$s" "$builddir/tests/chaos_sweep_test" \
+      --gtest_brief=1; then
+    failed+=("$s")
+  fi
+done
+
+echo
+if [[ ${#failed[@]} -eq 0 ]]; then
+  echo "chaos hunt clean: seeds $from..$((from + seeds - 1))"
+else
+  echo "chaos hunt found ${#failed[@]} failing seed(s); replay with:"
+  for s in "${failed[@]}"; do
+    echo "  CHEETAH_CHAOS_SEEDS=$s $builddir/tests/chaos_sweep_test"
+  done
+  exit 1
+fi

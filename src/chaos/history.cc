@@ -1,0 +1,281 @@
+#include "src/chaos/history.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace cheetah::chaos {
+
+namespace {
+
+const char* TypeName(OpType t) {
+  switch (t) {
+    case OpType::kPut: return "put";
+    case OpType::kGet: return "get";
+    case OpType::kDelete: return "del";
+  }
+  return "?";
+}
+
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kNotFound: return "notfound";
+    case Outcome::kNoEffect: return "noeffect";
+    case Outcome::kAmbiguous: return "ambiguous";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Op::ToString() const {
+  std::ostringstream os;
+  os << "#" << id << " c" << client << " " << TypeName(type) << "(" << key;
+  if (type == OpType::kPut || (type == OpType::kGet && outcome == Outcome::kOk)) {
+    os << "=" << (value.size() <= 24 ? value : value.substr(0, 24) + "...");
+  }
+  os << ")->" << OutcomeName(outcome) << " [" << invoke << ",";
+  if (EffectiveRet() == kNeverReturned) {
+    os << "inf";
+  } else {
+    os << ret;
+  }
+  os << "]";
+  return os.str();
+}
+
+uint64_t History::Invoke(int client, OpType type, const std::string& key,
+                         const std::string& value, Nanos now) {
+  Op op;
+  op.id = next_id_++;
+  op.client = client;
+  op.type = type;
+  op.key = key;
+  op.value = value;
+  op.invoke = now;
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+void History::Return(uint64_t id, Outcome outcome, const std::string& observed,
+                     Nanos now) {
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    if (it->id == id) {
+      it->outcome = outcome;
+      it->ret = now;
+      it->done = true;
+      if (it->type == OpType::kGet && outcome == Outcome::kOk) {
+        it->value = observed;
+      }
+      return;
+    }
+  }
+}
+
+std::map<std::string, std::vector<Op>> History::PerKey() const {
+  std::map<std::string, std::vector<Op>> out;
+  for (const Op& op : ops_) {
+    Op copy = op;
+    if (!copy.done) {
+      copy.outcome = Outcome::kAmbiguous;  // client never saw a response
+    }
+    out[copy.key].push_back(std::move(copy));
+  }
+  return out;
+}
+
+std::string History::Serialize() const {
+  std::ostringstream os;
+  for (const Op& op : ops_) {
+    os << op.id << "\t" << op.client << "\t" << TypeName(op.type) << "\t" << op.key
+       << "\t" << op.value << "\t" << (op.done ? OutcomeName(op.outcome) : "undone")
+       << "\t" << op.invoke << "\t" << op.ret << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Per-key Wing&Gong search. State of the create-once register is encoded as
+// a value index: 0 = absent, i+1 = ops[i]'s put value is visible. Memoizing
+// (linearized-mask, state) prunes re-exploration of equivalent prefixes.
+class KeyChecker {
+ public:
+  explicit KeyChecker(const std::vector<Op>& ops) : ops_(ops) {}
+
+  bool Check() { return Dfs(0, 0); }
+
+ private:
+  using StateKey = std::pair<uint64_t, uint32_t>;
+
+  bool Dfs(uint64_t mask, uint32_t state) {
+    const uint64_t full = (ops_.size() == 64) ? ~0ull : ((1ull << ops_.size()) - 1);
+    if (mask == full) {
+      return true;
+    }
+    if (!visited_.insert({mask, state}).second) {
+      return false;
+    }
+    // An op can linearize next only if no other pending op returned before
+    // its invocation (real-time order must be respected).
+    Nanos min_ret = Op::kNeverReturned;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if ((mask >> i) & 1) {
+        continue;
+      }
+      min_ret = std::min(min_ret, ops_[i].EffectiveRet());
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if ((mask >> i) & 1) {
+        continue;
+      }
+      const Op& op = ops_[i];
+      if (op.invoke > min_ret) {
+        continue;  // some pending op precedes it in real time
+      }
+      const uint64_t next_mask = mask | (1ull << i);
+      for (uint32_t next : NextStates(i, state)) {
+        if (Dfs(next_mask, next)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  static constexpr uint32_t kNoState = ~0u;
+
+  // Legal post-states of linearizing ops_[i] in `state` (empty = illegal).
+  std::vector<uint32_t> NextStates(size_t i, uint32_t state) {
+    const Op& op = ops_[i];
+    const bool present = state != 0;
+    std::vector<uint32_t> out;
+    switch (op.type) {
+      case OpType::kPut:
+        switch (op.outcome) {
+          case Outcome::kOk:
+            if (!present) {
+              out.push_back(static_cast<uint32_t>(i) + 1);
+            }
+            break;
+          case Outcome::kAmbiguous:
+            out.push_back(state);  // lost / revoked: no effect
+            if (!present) {
+              out.push_back(static_cast<uint32_t>(i) + 1);  // landed server-side
+            }
+            break;
+          default:  // AlreadyExists / ResourceExhausted: definite no-op
+            out.push_back(state);
+            break;
+        }
+        break;
+      case OpType::kGet:
+        switch (op.outcome) {
+          case Outcome::kOk:
+            if (present && ops_[state - 1].value == op.value) {
+              out.push_back(state);
+            }
+            break;
+          case Outcome::kNotFound:
+            if (!present) {
+              out.push_back(state);
+            }
+            break;
+          default:  // failed get observed nothing
+            out.push_back(state);
+            break;
+        }
+        break;
+      case OpType::kDelete:
+        switch (op.outcome) {
+          case Outcome::kOk:
+            if (present) {
+              out.push_back(0);
+            }
+            break;
+          case Outcome::kNotFound:
+            // Either genuinely absent, or this logical delete's earlier
+            // (internally retried) attempt removed the key and the final
+            // attempt found it gone.
+            if (!present) {
+              out.push_back(state);
+            } else {
+              out.push_back(0);
+            }
+            break;
+          case Outcome::kAmbiguous:
+            out.push_back(state);  // never applied
+            if (present) {
+              out.push_back(0);    // applied server-side
+            }
+            break;
+          default:
+            out.push_back(state);
+            break;
+        }
+        break;
+    }
+    return out;
+  }
+
+  const std::vector<Op>& ops_;
+  std::set<StateKey> visited_;
+};
+
+}  // namespace
+
+std::vector<Violation> CheckLinearizable(const History& history) {
+  std::vector<Violation> out;
+  for (const auto& [key, ops] : history.PerKey()) {
+    if (ops.size() > 63) {
+      out.push_back({key, "history too long to check (" + std::to_string(ops.size()) +
+                              " ops > 63); shorten the workload per key"});
+      continue;
+    }
+    // Fast pre-check: every successful get must observe a value some put of
+    // this key wrote — anything else is a torn or fabricated read, and the
+    // search below would only report it less directly.
+    bool torn = false;
+    for (const Op& g : ops) {
+      if (g.type != OpType::kGet || g.outcome != Outcome::kOk) {
+        continue;
+      }
+      bool written = false;
+      for (const Op& p : ops) {
+        if (p.type == OpType::kPut && p.value == g.value) {
+          written = true;
+          break;
+        }
+      }
+      if (!written) {
+        out.push_back({key, "read observed a value no put wrote: " + g.ToString()});
+        torn = true;
+      }
+    }
+    if (torn) {
+      continue;
+    }
+    KeyChecker checker(ops);
+    if (!checker.Check()) {
+      std::ostringstream os;
+      os << "no linearization of " << ops.size() << " ops:";
+      for (const Op& op : ops) {
+        os << "\n    " << op.ToString();
+      }
+      out.push_back({key, os.str()});
+    }
+  }
+  return out;
+}
+
+std::string FormatViolations(const std::vector<Violation>& violations) {
+  std::ostringstream os;
+  for (const Violation& v : violations) {
+    os << "key '" << v.key << "': " << v.reason << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cheetah::chaos

@@ -1,0 +1,148 @@
+#include "src/chaos/nemesis.h"
+
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "src/common/random.h"
+
+namespace cheetah::chaos {
+
+namespace {
+
+std::string Secs(Nanos t) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << static_cast<double>(t) / 1e9 << "s";
+  return os.str();
+}
+
+}  // namespace
+
+void NemesisSchedule::Install(core::Testbed& bed) const {
+  const Nanos base = bed.loop().Now();
+  for (const NemesisEvent& e : events_) {
+    bed.loop().ScheduleAt(base + e.at, [&bed, action = e.action]() { action(bed); });
+  }
+}
+
+std::string NemesisSchedule::ToString() const {
+  std::ostringstream os;
+  for (const NemesisEvent& e : events_) {
+    os << "  +" << Secs(e.at) << " " << e.describe << "\n";
+  }
+  return os.str();
+}
+
+NemesisSchedule MetaCrashRestartLoop(uint64_t seed, int meta_count, Nanos span,
+                                     bool power_fail) {
+  Rng rng(seed ^ 0xc7a5ull);
+  NemesisSchedule s;
+  Nanos t = span / 8 + rng.Uniform(span / 8);
+  while (true) {
+    const int victim = static_cast<int>(rng.Uniform(static_cast<uint64_t>(meta_count)));
+    const Nanos down = Millis(700) + rng.Uniform(Millis(300));
+    if (t + down + Millis(500) > (span * 3) / 4) {
+      break;
+    }
+    s.Add(t, std::string(power_fail ? "power-fail" : "crash") + " meta[" +
+                 std::to_string(victim) + "]",
+          [victim, power_fail](core::Testbed& bed) {
+            bed.Crash(bed.meta_node(victim), power_fail);
+          });
+    s.Add(t + down, "restart meta[" + std::to_string(victim) + "]",
+          [victim](core::Testbed& bed) { bed.Restart(bed.meta_node(victim)); });
+    t += down + Millis(600) + rng.Uniform(Millis(400));
+  }
+  return s;
+}
+
+NemesisSchedule MetaPowerFailViewChange(uint64_t seed, int meta_count, Nanos span) {
+  Rng rng(seed ^ 0xbadf00dull);
+  NemesisSchedule s;
+  const int victim = static_cast<int>(rng.Uniform(static_cast<uint64_t>(meta_count)));
+  // Land the power failure in the thick of the workload so some put is
+  // inside its data-written-but-not-yet-persisted window; keep it down past
+  // the failure detector (450ms) so a view change runs without it.
+  const Nanos hit = span / 4 + rng.Uniform(span / 4);
+  s.Add(hit, "power-fail meta[" + std::to_string(victim) + "]",
+        [victim](core::Testbed& bed) { bed.Crash(bed.meta_node(victim), true); });
+  s.Add(hit + Millis(1200), "restart meta[" + std::to_string(victim) + "]",
+        [victim](core::Testbed& bed) { bed.Restart(bed.meta_node(victim)); });
+  return s;
+}
+
+NemesisSchedule PartitionHealMeta(uint64_t seed, int meta_count, Nanos span) {
+  Rng rng(seed ^ 0x9a27ull);
+  NemesisSchedule s;
+  const int victim = static_cast<int>(rng.Uniform(static_cast<uint64_t>(meta_count)));
+  const Nanos hit = span / 5 + rng.Uniform(span / 5);
+  const Nanos held = Millis(800) + rng.Uniform(Millis(400));
+  s.Add(hit, "isolate meta[" + std::to_string(victim) + "]",
+        [victim](core::Testbed& bed) { bed.Isolate(bed.meta_node(victim)); });
+  s.Add(hit + held, "heal all partitions",
+        [](core::Testbed& bed) { bed.Heal(); });
+  return s;
+}
+
+NemesisSchedule GrayDataDisk(uint64_t seed, int data_count, Nanos span) {
+  Rng rng(seed ^ 0x6a4ull);
+  NemesisSchedule s;
+  const int victim = static_cast<int>(rng.Uniform(static_cast<uint64_t>(data_count)));
+  const double mult = 4.0 + static_cast<double>(rng.Uniform(8));
+  const Nanos stuck = Millis(40) + rng.Uniform(Millis(80));
+  const Nanos hit = span / 6 + rng.Uniform(span / 4);
+  const Nanos held = Millis(900) + rng.Uniform(Millis(600));
+  std::ostringstream d;
+  d << "gray data[" << victim << "] x" << mult << " fsync-stuck " << Secs(stuck);
+  s.Add(hit, d.str(), [victim, mult, stuck](core::Testbed& bed) {
+    sim::GrayFailure g;
+    g.latency_multiplier = mult;
+    g.fsync_stuck_for = stuck;
+    bed.data_machine(victim).SetGrayFailure(g);
+  });
+  s.Add(hit + held, "restore data[" + std::to_string(victim) + "]",
+        [victim](core::Testbed& bed) { bed.data_machine(victim).ClearGrayFailure(); });
+  return s;
+}
+
+NemesisSchedule NetChaos(uint64_t seed, Nanos span) {
+  Rng rng(seed ^ 0x2e7ull);
+  NemesisSchedule s;
+  sim::LinkFaults f;
+  f.drop_prob = 0.005 + 0.005 * static_cast<double>(rng.Uniform(4));
+  f.dup_prob = 0.01 + 0.005 * static_cast<double>(rng.Uniform(4));
+  f.delay_prob = 0.02 + 0.01 * static_cast<double>(rng.Uniform(4));
+  f.max_extra_delay = Millis(1) + rng.Uniform(Millis(3));
+  const Nanos hit = span / 8 + rng.Uniform(span / 8);
+  const Nanos held = span / 2;
+  std::ostringstream d;
+  d << "lossy net drop=" << f.drop_prob << " dup=" << f.dup_prob
+    << " delay=" << f.delay_prob << " max_extra=" << Secs(f.max_extra_delay);
+  s.Add(hit, d.str(), [f](core::Testbed& bed) { bed.network().SetDefaultLinkFaults(f); });
+  s.Add(hit + held, "clear link faults",
+        [](core::Testbed& bed) { bed.network().ClearLinkFaults(); });
+  return s;
+}
+
+NemesisSchedule Combined(uint64_t seed, int meta_count, int data_count, Nanos span) {
+  // Independent sub-seeds so each ingredient draws its own fault sequence.
+  NemesisSchedule out = NetChaos(seed * 3 + 1, span);
+  out.Append(MetaCrashRestartLoop(seed * 3 + 2, meta_count, span,
+                                  /*power_fail=*/(seed % 2) == 0));
+  out.Append(GrayDataDisk(seed * 3 + 3, data_count, span));
+  return out;
+}
+
+std::vector<NemesisSchedule> StandardSchedules(uint64_t seed, int meta_count,
+                                               int data_count, Nanos span) {
+  std::vector<NemesisSchedule> out;
+  out.push_back(MetaCrashRestartLoop(seed, meta_count, span, /*power_fail=*/true));
+  out.push_back(MetaPowerFailViewChange(seed, meta_count, span));
+  out.push_back(PartitionHealMeta(seed, meta_count, span));
+  out.push_back(GrayDataDisk(seed, data_count, span));
+  out.push_back(NetChaos(seed, span));
+  out.push_back(Combined(seed, meta_count, data_count, span));
+  return out;
+}
+
+}  // namespace cheetah::chaos

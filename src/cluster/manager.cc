@@ -274,6 +274,29 @@ sim::Task<> Manager::CheckFailures() {
     liveness_.erase(node);
     handling_failure_.erase(node);
   }
+
+  // Re-admit recovered meta servers: a node absent from the map but
+  // heartbeating again has returned from its eviction. Its stale local PG
+  // state is safe to bring back — adoption re-pulls across the view gap and
+  // merges, with deletes carried as tombstones (core/meta_server.cc).
+  std::vector<sim::NodeId> returned;
+  for (const auto& [node, live] : liveness_) {
+    if (live.kind == ServerKind::kMetaServer && !handling_failure_.contains(node) &&
+        now - live.last_seen <= config_.fail_timeout &&
+        !sm_.current.meta_crush.HasItem(node)) {
+      returned.push_back(node);
+    }
+  }
+  for (sim::NodeId node : returned) {
+    LOG_INFO << "manager: re-admitting meta server " << node;
+    (void)co_await MutateTopology([node](TopologyMap& next) {
+      if (next.meta_crush.HasItem(node)) {
+        return Status::AlreadyExists("meta server already mapped");
+      }
+      next.meta_crush.AddItem(node);
+      return Status::Ok();
+    });
+  }
 }
 
 sim::Task<> Manager::HandleMetaFailure(sim::NodeId node) {

@@ -107,7 +107,20 @@ void ClientProxy::ReportSuspect(sim::NodeId node) {
 }
 
 sim::Task<> ClientProxy::BackoffAndRefresh(int attempt) {
-  co_await sim::SleepFor(Millis(20) * (attempt + 1));
+  // Capped exponential backoff with decorrelated jitter: the sleep is drawn
+  // from [floor, min(cap, 3 * previous)], where the floor doubles each
+  // attempt. The floor guarantees later retries wait out a view change's
+  // adoption window instead of burning all attempts against a server that
+  // fast-fails while initializing; the draw (from the proxy's own seeded
+  // RNG, so runs stay reproducible) decorrelates proxies so recovery traffic
+  // doesn't stampede in lockstep.
+  const Nanos base = options_.backoff_base;
+  const Nanos cap = options_.backoff_cap;
+  const Nanos floor = std::min(cap, base << std::min(attempt, 10));
+  const Nanos hi =
+      std::max(floor, std::min(cap, 3 * std::max(backoff_, base)));
+  backoff_ = floor + rng_.Uniform(hi - floor + 1);
+  co_await sim::SleepFor(backoff_);
   (void)co_await RefreshTopology();
 }
 
@@ -181,6 +194,12 @@ sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::st
     co_return reply.status();
   }
 
+  if (reply->already_done) {
+    // An earlier attempt took effect and a delete has since settled it; the
+    // extents are gone, so there is no data to (re)write.
+    persist_waits_.erase(reqid);
+    co_return Status::Ok();
+  }
   const cluster::LogicalVolume* lv = topo_.FindLv(reply->lvid);
   if (lv == nullptr) {
     persist_waits_.erase(reqid);
@@ -194,8 +213,9 @@ sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::st
 
   // Wait for the MetaX-persisted ack (already satisfied in Cheetah-OW). The
   // wait span is what distinguishes a stock put from an OW put in traces —
-  // the protocol regression test keys off it.
-  if (!reply->persisted) {
+  // the protocol regression test keys off it. Skipping this wait is the
+  // canonical injected bug the chaos suite must catch (see options.h).
+  if (!reply->persisted && !options_.unsafe_skip_persist_wait) {
     auto& tracer = obs::Tracer::Global();
     const uint64_t wspan =
         tracer.enabled() ? tracer.Begin(obs::SpanKind::kWait, "put.persist_wait", rpc_.id(),
@@ -431,12 +451,15 @@ sim::Task<Status> ClientProxy::Delete(std::string name) {
 sim::Task<Status> ClientProxy::DeleteImpl(std::string name) {
   CO_RETURN_IF_ERROR(co_await EnsureTopology());
   meta_cache_.erase(name);
+  const ReqId reqid = (static_cast<uint64_t>(proxy_id_) << 32) | next_req_++;
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
     const cluster::PgId pg = topo_.PgOf(name);
     const sim::NodeId primary = topo_.PrimaryOf(pg);
     DeleteRequest req;
     req.view = topo_.view;
     req.name = name;
+    req.reqid = reqid;
+    req.proxy_id = proxy_id_;
     auto r = co_await rpc_.Call(primary, std::move(req), options_.rpc_timeout);
     if (r.ok()) {
       counters_.deletes->Add();

@@ -99,6 +99,7 @@ class ClientProxy {
   std::vector<sim::NodeId> manager_nodes_;
   uint32_t proxy_id_;
   Rng rng_;
+  Nanos backoff_ = 0;  // previous retry sleep (decorrelated jitter state)
 
   cluster::TopologyMap topo_;
   uint64_t next_req_ = 1;

@@ -28,6 +28,9 @@ struct PutAllocReply {
   // Set when the reply already implies persistence (Cheetah-OW): the proxy
   // must not wait for a separate MetaPersisted notification.
   bool persisted = false;
+  // The op's effect already happened and was settled by a later delete — the
+  // proxy reports success without writing data (there is nowhere to write).
+  bool already_done = false;
   size_t wire_size() const { return 40 + extents.size() * 16; }
 };
 struct PutAllocRequest {
@@ -96,7 +99,12 @@ struct DeleteRequest {
   DeleteRequest() = default;
   uint64_t view = 0;
   std::string name;
-  size_t wire_size() const { return 24 + name.size(); }
+  // Stable across retries: lets the primary recognize a resent delete whose
+  // first attempt already landed (the ack was lost) and answer OK instead of
+  // deleting an object recreated in between.
+  ReqId reqid = 0;
+  uint32_t proxy_id = 0;
+  size_t wire_size() const { return 40 + name.size(); }
 };
 
 // ---- meta -> meta: MetaX replication and PG transfer ----

@@ -197,6 +197,19 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
   CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
   counters_.put_allocs->Add();
 
+  // A retry may be chasing a put whose effect already came AND went: the
+  // first attempt landed, a concurrent delete consumed the object, and only
+  // then did the resend arrive. Re-executing would recreate an object the
+  // delete was acked for removing. The delete left this op's OpDone marker
+  // precisely so the resend can be answered "done" without re-running.
+  if ((req.re_meta || req.re_data) &&
+      (co_await db_->Get(OpDoneKey(pg, req.proxy_id, req.reqid))).ok()) {
+    PutAllocReply reply;
+    reply.already_done = true;
+    reply.persisted = true;
+    co_return reply;
+  }
+
   // Resume path (§5.3 RE-META): the put already allocated — return the same
   // allocation and re-replicate MetaX so the backups converge.
   if (auto it = pending_names_.find(req.name); it != pending_names_.end()) {
@@ -204,15 +217,20 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
     if (p.reqid == req.reqid) {
       if (req.re_data) {
         // §5.3 RE-DATA: atomically pick a new volume and revoke the old
-        // allocation on the problematic one.
+        // allocation on the problematic one. Allocate before freeing: if no
+        // volume can fit the object the put must be revoked outright —
+        // leaving the pending entry (and its replicated MetaX) behind would
+        // let the cleaner complete a put the proxy was told failed.
+        auto alloc = AllocateSpace(pg, req.size);
+        if (!alloc.ok()) {
+          PendingPut doomed = p;
+          co_await RevokePut(std::move(doomed));
+          co_return alloc.status();
+        }
         if (alloc::BitmapAllocator* a = AllocatorFor(p.meta.lvid)) {
           a->Free(p.meta.extents);
         }
         co_await DiscardData(p.meta);
-        auto alloc = AllocateSpace(pg, req.size);
-        if (!alloc.ok()) {
-          co_return alloc.status();
-        }
         p.meta.lvid = alloc->first;
         p.meta.extents = std::move(alloc->second);
       }
@@ -241,10 +259,29 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
     co_return Status::AlreadyExists("object has an in-flight put");
   }
 
-  // Immutability: an existing (visible) object cannot be overwritten.
+  // Immutability: an existing (visible) object cannot be overwritten. A
+  // tombstone is not an object — recreating a deleted name is legal and
+  // simply overwrites the tombstone.
   {
     auto existing = co_await db_->Get(ObMetaKey(pg, req.name));
-    if (existing.ok()) {
+    if (existing.ok() && !IsObMetaTombstone(*existing)) {
+      // A retry (RE-META or RE-DATA) may be chasing its own success: the
+      // first attempt's MetaX survived — or a get-triggered verification
+      // (§4.3.2) completed the pending put — but the proxy never saw the
+      // ack. For immutable objects the create is idempotent per content, so
+      // the same bytes re-put is answered with the original allocation — the
+      // proxy re-writes the same extents and completes normally instead of
+      // being told AlreadyExists about a put whose effect is visible.
+      if (req.re_meta || req.re_data) {
+        auto meta = ObMeta::Decode(*existing);
+        if (meta.ok() && meta->checksum == req.checksum && meta->size == req.size) {
+          PutAllocReply reply;
+          reply.lvid = meta->lvid;
+          reply.extents = meta->extents;
+          reply.persisted = true;
+          co_return reply;
+        }
+      }
       co_return Status::AlreadyExists("object exists (immutable)");
     }
   }
@@ -266,6 +303,8 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
   p.meta.extents = std::move(alloc->second);
   p.meta.checksum = req.checksum;
   p.meta.size = req.size;
+  p.meta.proxy_id = req.proxy_id;
+  p.meta.reqid = req.reqid;
   p.born = rpc_.machine().loop().Now();
 
   std::vector<std::pair<std::string, std::string>> puts;
@@ -416,6 +455,9 @@ sim::Task<Result<GetMetaReply>> MetaServer::HandleGet(sim::NodeId src, GetMetaRe
   if (!value.ok()) {
     co_return value.status();
   }
+  if (IsObMetaTombstone(*value)) {
+    co_return Status::NotFound("object deleted");
+  }
   auto meta = ObMeta::Decode(*value);
   if (!meta.ok()) {
     co_return meta.status();
@@ -445,7 +487,7 @@ sim::Task<Status> MetaServer::VerifyPending(ReqId reqid) {
   // have moved the object since this pending entry was built.
   {
     auto value = co_await db_->Get(ObMetaKey(p.pg, p.name));
-    if (!value.ok()) {
+    if (!value.ok() || IsObMetaTombstone(*value)) {
       pending_names_.erase(p.name);
       pending_.erase(reqid);
       co_return Status::NotFound("put already revoked");
@@ -533,11 +575,15 @@ sim::Task<Status> MetaServer::VerifyPending(ReqId reqid) {
 }
 
 sim::Task<> MetaServer::RevokePut(PendingPut p) {
+  // The ObMeta slot gets a tombstone (a revoked put must not resurrect via a
+  // PG pull merge); the per-op log entries are plain removals — a merged-back
+  // log entry is harmless, the cleaner re-resolves it against the tombstone.
+  std::vector<std::pair<std::string, std::string>> puts;
+  puts.emplace_back(ObMetaKey(p.pg, p.name), ObMetaTombstone());
   std::vector<std::string> deletes;
-  deletes.push_back(ObMetaKey(p.pg, p.name));
   deletes.push_back(PgLogKey(p.pg, p.opseq));
   deletes.push_back(PxLogKey(p.proxy_id, p.reqid));
-  (void)co_await PersistAndReplicate(p.pg, {}, std::move(deletes));
+  (void)co_await PersistAndReplicate(p.pg, std::move(puts), std::move(deletes));
   if (alloc::BitmapAllocator* a = AllocatorFor(p.meta.lvid)) {
     a->Free(p.meta.extents);
   }
@@ -571,6 +617,19 @@ sim::Task<> MetaServer::DiscardData(const ObMeta& meta) {
 sim::Task<Result<DeleteReply>> MetaServer::HandleDelete(sim::NodeId src, DeleteRequest req) {
   const cluster::PgId pg = topo_.pg_count ? topo_.PgOf(req.name) : 0;
   CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
+  // Idempotency: a delete whose first attempt landed but whose ack was lost
+  // must not take effect twice — by the time the retry arrives the name may
+  // have been recreated, and deleting *that* object would erase an acked put
+  // this delete never saw. The marker is written atomically with the
+  // tombstone and travels with the PG (pulls transfer the OPDONE range), so
+  // any primary the retry reaches recognizes it. The sim keeps markers
+  // forever; a real system would GC them past the client retry horizon.
+  if (req.reqid != 0) {
+    auto marker = co_await db_->Get(OpDoneKey(pg, req.proxy_id, req.reqid));
+    if (marker.ok()) {
+      co_return DeleteReply{};
+    }
+  }
   if (pending_names_.contains(req.name)) {
     co_await WaitPendingResolved(req.name, Millis(5));
     if (pending_names_.contains(req.name)) {
@@ -581,17 +640,30 @@ sim::Task<Result<DeleteReply>> MetaServer::HandleDelete(sim::NodeId src, DeleteR
   if (!value.ok()) {
     co_return value.status();
   }
+  if (IsObMetaTombstone(*value)) {
+    co_return Status::NotFound("object deleted");
+  }
   auto meta = ObMeta::Decode(*value);
   if (!meta.ok()) {
     co_return meta.status();
   }
   counters_.deletes->Add();
-  // §4.3.3: delete = remove the MetaX record and clear the allocator bits —
+  // §4.3.3: delete = retire the MetaX record and clear the allocator bits —
   // the reclaimed space is immediately reusable; data servers are untouched
-  // (the extents are dropped lazily via a discard notification).
-  std::vector<std::string> deletes;
-  deletes.push_back(ObMetaKey(pg, req.name));
-  Status s = co_await PersistAndReplicate(pg, {}, std::move(deletes));
+  // (the extents are dropped lazily via a discard notification). The record
+  // is replaced by a tombstone, not removed: PG pulls merge records, so the
+  // delete must survive as a positive fact (see ObMetaTombstone()).
+  std::vector<std::pair<std::string, std::string>> puts;
+  puts.emplace_back(ObMetaKey(pg, req.name), ObMetaTombstone());
+  if (req.reqid != 0) {
+    puts.emplace_back(OpDoneKey(pg, req.proxy_id, req.reqid), req.name);
+  }
+  // The consumed object's creating put is settled too: a late resend of that
+  // put must not resurrect what this delete was acked for removing.
+  if (meta->reqid != 0) {
+    puts.emplace_back(OpDoneKey(pg, meta->proxy_id, meta->reqid), req.name);
+  }
+  Status s = co_await PersistAndReplicate(pg, std::move(puts), {});
   if (!s.ok()) {
     co_return s;
   }
@@ -658,6 +730,16 @@ sim::Task<Result<PgPullReply>> MetaServer::HandlePgPull(sim::NodeId src, PgPullR
       }
       reply.kvs.emplace_back(key, std::move(value));
     }
+    // Op-finality markers travel with the PG so a newly joined replica
+    // recognizes retried puts/deletes whose effect is settled (HandleDelete,
+    // HandlePutAlloc).
+    auto opdones = co_await db_->Scan(OpDonePrefix(req.pg), 0);
+    if (!opdones.ok()) {
+      co_return opdones.status();
+    }
+    for (auto& [key, value] : *opdones) {
+      reply.kvs.emplace_back(std::move(key), std::move(value));
+    }
     counters_.pg_pulls_served->Add();
   }
   co_return reply;
@@ -701,8 +783,15 @@ sim::Task<> MetaServer::AdoptTopology(cluster::TopologyMap next) {
     std::set<cluster::PgId> previously_ready = std::move(ready_pgs_);
     ready_pgs_.clear();
 
+    // A node that skipped intermediate views (partitioned away while the
+    // cluster moved on without it) cannot trust its local PG state: writes
+    // were acknowledged by views it never saw. Re-pull everything it is
+    // responsible for, preferring the current view's owners as sources —
+    // its own stale map may name owners that no longer hold the PG.
+    const bool view_gap = old.view > 0 && topo_.view > old.view + 1;
+
     for (cluster::PgId pg : responsible) {
-      const bool had_it = previously_ready.contains(pg);
+      const bool had_it = !view_gap && previously_ready.contains(pg);
       if (!had_it) {
         // Pull the PG from a surviving replica of the previous view.
         std::vector<sim::NodeId> sources;
@@ -711,40 +800,80 @@ sim::Task<> MetaServer::AdoptTopology(cluster::TopologyMap next) {
         } else {
           sources = topo_.MetaServersOf(pg);
         }
-        for (sim::NodeId source : sources) {
-          if (source == rpc_.id()) {
-            continue;
+        if (view_gap) {
+          std::vector<sim::NodeId> current = topo_.MetaServersOf(pg);
+          for (sim::NodeId s : sources) {
+            if (std::find(current.begin(), current.end(), s) == current.end()) {
+              current.push_back(s);
+            }
           }
-          // Pull the PG page by page; each page is persisted as it lands so
-          // the recovery curve (Fig. 15) reflects actual transfer progress.
-          std::string cursor;
-          bool complete = false;
-          for (int page = 0; page < 100000; ++page) {
-            PgPullRequest pull;
-            pull.view = topo_.view;
-            pull.pg = pg;
-            pull.start_after = cursor;
-            pull.limit = 512;
-            auto r = co_await rpc_.Call(source, std::move(pull), options_.rpc_timeout);
-            if (!r.ok()) {
+          sources = std::move(current);
+        }
+        // Try sources that remain members of the new view first: a node the
+        // manager just evicted is usually evicted because it is unreachable,
+        // and every page call against it stalls adoption (and every put to
+        // this PG) for a full rpc_timeout before we fall to the next source.
+        std::stable_partition(sources.begin(), sources.end(), [&](sim::NodeId s) {
+          return topo_.meta_crush.HasItem(s);
+        });
+        // Retry the source list for a few rounds: after a cluster-wide
+        // restart every peer races through DB recovery, and a single
+        // "initializing" round-trip must not make this node adopt the PG
+        // empty and then serve NotFound for data its peers hold. Bail if a
+        // newer view lands mid-pull — the outer loop re-adopts from scratch.
+        bool pulled = false;
+        for (int round = 0; round < 4 && !pulled && !pending_topo_.has_value();
+             ++round) {
+          if (round > 0) {
+            co_await sim::SleepFor(Millis(100));
+          }
+          for (sim::NodeId source : sources) {
+            if (source == rpc_.id()) {
+              continue;
+            }
+            // Pull the PG page by page; each page is persisted as it lands so
+            // the recovery curve (Fig. 15) reflects actual transfer progress.
+            std::string cursor;
+            bool complete = false;
+            for (int page = 0; page < 100000; ++page) {
+              PgPullRequest pull;
+              pull.view = topo_.view;
+              pull.pg = pg;
+              pull.start_after = cursor;
+              pull.limit = 512;
+              auto r = co_await rpc_.Call(source, std::move(pull), options_.rpc_timeout);
+              if (!r.ok()) {
+                break;
+              }
+              kv::WriteBatch batch;
+              for (auto& [k, v] : r->kvs) {
+                batch.Put(k, v);
+              }
+              counters_.recovered_kvs->Add(r->kvs.size());
+              (void)co_await db_->Write(std::move(batch));
+              if (r->next_start_after.empty()) {
+                complete = true;
+                break;
+              }
+              cursor = r->next_start_after;
+            }
+            if (complete) {
+              // The pull is a pure merge: records only ever get added or
+              // overwritten, never inferred-deleted. Deletes arrive as
+              // tombstone records like any other write, so a replica's local
+              // (possibly the only surviving) copy of a PG is never thrown
+              // away because a source that adopted the PG empty lacks it.
+              pulled = true;
               break;
             }
-            kv::WriteBatch batch;
-            for (auto& [k, v] : r->kvs) {
-              batch.Put(k, v);
-            }
-            counters_.recovered_kvs->Add(r->kvs.size());
-            (void)co_await db_->Write(std::move(batch));
-            if (r->next_start_after.empty()) {
-              complete = true;
-              break;
-            }
-            cursor = r->next_start_after;
-          }
-          if (complete) {
-            break;
           }
         }
+        if (pending_topo_.has_value()) {
+          break;  // restart adoption under the newer map
+        }
+        LOG_DEBUG << "meta " << rpc_.id() << ": view " << topo_.view << " pg " << pg
+                  << (pulled ? " pulled" : " adopted without a complete pull")
+                  << " (sources " << sources.size() << ")";
       }
       if (IsPrimary(pg)) {
         co_await RebuildPgState(pg);

@@ -66,6 +66,9 @@ class MetaServer {
   uint64_t view() const { return topo_.view; }
   bool HasLease() const;
   bool IsReady(cluster::PgId pg) const { return ready_pgs_.contains(pg); }
+  // True while this server is adopting a view (pulling PGs); chaos tests use
+  // it to aim crashes at the middle of a view change.
+  bool adopting() const { return adopting_; }
   size_t pending_puts() const { return pending_.size(); }
   kv::DB* db() { return db_.get(); }
 
@@ -98,6 +101,7 @@ class MetaServer {
 
   // Pulls newly-responsible PGs, rebuilds allocators/opseq/pending.
   sim::Task<> AdoptTopology(cluster::TopologyMap next);
+  // Drops local PG keys absent from a completed pull (stale-record sweep).
   sim::Task<> RebuildPgState(cluster::PgId pg);
   sim::Task<> MigratePgData(cluster::PgId pg);  // Cheetah-NoVG
 

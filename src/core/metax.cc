@@ -35,6 +35,11 @@ std::string PxLogKey(uint32_t proxy_id, ReqId reqid) {
 }
 std::string PxLogPrefix(uint32_t proxy_id) { return "PXLOG_" + Hex8(proxy_id) + "_"; }
 
+std::string OpDoneKey(cluster::PgId pg, uint32_t proxy_id, ReqId reqid) {
+  return OpDonePrefix(pg) + Hex8(proxy_id) + "_" + Hex16(reqid);
+}
+std::string OpDonePrefix(cluster::PgId pg) { return "OPDONE_" + Hex8(pg) + "_"; }
+
 bool ParsePgLogKey(std::string_view key, cluster::PgId* pg, uint64_t* opseq) {
   if (!key.starts_with("PGLOG_") || key.size() != 6 + 8 + 1 + 16) {
     return false;
@@ -100,6 +105,8 @@ std::string ObMeta::Encode() const {
   EncodeExtents(&out, extents);
   PutFixed32(&out, checksum);
   PutVarint64(&out, size);
+  PutVarint64(&out, proxy_id);
+  PutVarint64(&out, reqid);
   return out;
 }
 
@@ -111,8 +118,23 @@ Result<ObMeta> ObMeta::Decode(std::string_view data) {
     return Status::Corruption("ObMeta");
   }
   m.lvid = static_cast<cluster::LvId>(lvid);
+  // Creator op, absent in encodings that predate it (hand-built test
+  // records): missing means unknown, not corrupt.
+  uint64_t proxy_id = 0;
+  uint64_t reqid = 0;
+  if (GetVarint64(&data, &proxy_id) && GetVarint64(&data, &reqid)) {
+    m.proxy_id = static_cast<uint32_t>(proxy_id);
+    m.reqid = reqid;
+  }
   return m;
 }
+
+// 0xff never begins a valid ObMeta encoding's final varint sequence, so the
+// sentinel cannot collide with a live record.
+static constexpr std::string_view kObMetaTombstone = "\xffTOMB";
+
+std::string ObMetaTombstone() { return std::string(kObMetaTombstone); }
+bool IsObMetaTombstone(std::string_view value) { return value == kObMetaTombstone; }
 
 std::string PgLog::Encode() const {
   std::string out;

@@ -35,6 +35,14 @@ std::string PgLogKey(cluster::PgId pg, uint64_t opseq);
 std::string PgLogPrefix(cluster::PgId pg);
 std::string PxLogKey(uint32_t proxy_id, ReqId reqid);
 std::string PxLogPrefix(uint32_t proxy_id);
+// Op-finality marker: records that client op (proxy_id, reqid) took effect
+// and that effect is settled — written by deletes for themselves and for the
+// creating put of the object they consume. A retried put or delete that
+// finds its own marker answers success without re-executing, which is what
+// keeps retries idempotent once the object they touched is gone. Keyed in
+// the PG's keyspace so PG pulls carry markers to new replicas.
+std::string OpDoneKey(cluster::PgId pg, uint32_t proxy_id, ReqId reqid);
+std::string OpDonePrefix(cluster::PgId pg);
 
 // Parses <pg> and <opseq> back out of a PGLOG key. Returns false on mismatch.
 bool ParsePgLogKey(std::string_view key, cluster::PgId* pg, uint64_t* opseq);
@@ -48,10 +56,24 @@ struct ObMeta {
   std::vector<alloc::Extent> extents;     // Mo: offset metadata
   uint32_t checksum = 0;                  // data checksum c
   uint64_t size = 0;                      // object data size in bytes
+  // Creating op (Ml carries the proxy identity per Table 1): lets a delete
+  // write the creator's OpDone marker when it consumes the object.
+  uint32_t proxy_id = 0;
+  ReqId reqid = 0;
 
   std::string Encode() const;
   static Result<ObMeta> Decode(std::string_view data);
 };
+
+// A deleted object leaves a tombstone in place of its ObMeta record rather
+// than a bare key removal. Deletes must be a positive, replicable fact: PG
+// pulls merge records between replicas, so an absence proves nothing, and a
+// replica that missed the delete would silently resurrect the object the
+// next time it serves the PG. A put to a tombstoned name overwrites the
+// tombstone (delete-then-recreate is legal; create-once applies only to
+// visible objects). The sim never garbage-collects tombstones.
+std::string ObMetaTombstone();
+bool IsObMetaTombstone(std::string_view value);
 
 struct PgLog {
   PgLog() = default;

@@ -35,6 +35,12 @@ struct CheetahOptions {
 
   // --- timing ---
   Nanos rpc_timeout = Millis(500);
+  // Proxy retry backoff: capped exponential with decorrelated jitter (AWS
+  // architecture-blog style: sleep = min(cap, rand(base, 3*prev))), so many
+  // proxies retrying into a recovering cluster don't synchronize into
+  // thundering herds. Deterministic per proxy seed.
+  Nanos backoff_base = Millis(5);
+  Nanos backoff_cap = Millis(320);
   Nanos heartbeat_interval = Millis(100);
   Nanos log_clean_interval = Millis(500);
   // Background scrub: audit object checksums against the data servers and
@@ -47,6 +53,13 @@ struct CheetahOptions {
   // Filesystem overhead charged per data op in Cheetah-FS (journal + inode
   // update, roughly one extra 4KB metadata write).
   uint64_t fs_overhead_bytes = 4096;
+
+  // FAULT-INJECTION ONLY. Ack puts without waiting for MetaX persistence
+  // (violates Appendix A Lemma 1: a power failure inside the vulnerable
+  // window loses an acknowledged object). Exists so the chaos suite can
+  // prove the linearizability checker catches a real consistency bug; never
+  // enable outside tests/chaos.
+  bool unsafe_skip_persist_wait = false;
 
   // MetaX KV store tuning (Fig. 11 sweeps these).
   kv::Options metax_kv;

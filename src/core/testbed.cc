@@ -267,6 +267,15 @@ void Testbed::CrashProxy(int i) {
   b.rpc->Detach();
 }
 
+void Testbed::RestartProxy(int i) {
+  auto& b = proxies_.at(i);
+  b.machine->Restart();
+  b.rpc->Attach();
+  b.proxy = std::make_unique<ClientProxy>(*b.rpc, config_.options, manager_nodes_,
+                                          static_cast<uint32_t>(i + 1));
+  b.proxy->Start();
+}
+
 void Testbed::CrashManager(int i, bool power_loss) {
   auto& b = managers_.at(i);
   if (power_loss) {
@@ -291,6 +300,101 @@ void Testbed::RestartManager(int i) {
       LOG_ERROR << "manager restart failed: " << s.ToString();
     }
   }(b.manager.get()));
+}
+
+std::vector<sim::NodeId> Testbed::AllNodes() const {
+  std::vector<sim::NodeId> out;
+  for (const auto& m : managers_) {
+    out.push_back(m.machine->node_id());
+  }
+  for (const auto& m : metas_) {
+    out.push_back(m.machine->node_id());
+  }
+  for (const auto& d : datas_) {
+    out.push_back(d.machine->node_id());
+  }
+  for (const auto& p : proxies_) {
+    out.push_back(p.machine->node_id());
+  }
+  return out;
+}
+
+void Testbed::Isolate(sim::NodeId node) {
+  for (sim::NodeId other : AllNodes()) {
+    if (other != node) {
+      net_.SetPartitioned(node, other, true);
+    }
+  }
+}
+
+void Testbed::Crash(sim::NodeId node, bool power_loss) {
+  for (size_t i = 0; i < metas_.size(); ++i) {
+    if (metas_[i].machine->node_id() == node) {
+      if (metas_[i].machine->alive()) {
+        CrashMetaMachine(static_cast<int>(i), power_loss);
+      }
+      return;
+    }
+  }
+  for (size_t i = 0; i < datas_.size(); ++i) {
+    if (datas_[i].machine->node_id() == node) {
+      if (datas_[i].machine->alive()) {
+        CrashDataMachine(static_cast<int>(i), power_loss);
+      }
+      return;
+    }
+  }
+  for (size_t i = 0; i < managers_.size(); ++i) {
+    if (managers_[i].machine->node_id() == node) {
+      if (managers_[i].machine->alive()) {
+        CrashManager(static_cast<int>(i), power_loss);
+      }
+      return;
+    }
+  }
+  for (size_t i = 0; i < proxies_.size(); ++i) {
+    if (proxies_[i].machine->node_id() == node) {
+      if (proxies_[i].machine->alive()) {
+        CrashProxy(static_cast<int>(i));
+      }
+      return;
+    }
+  }
+}
+
+void Testbed::Restart(sim::NodeId node) {
+  for (size_t i = 0; i < metas_.size(); ++i) {
+    if (metas_[i].machine->node_id() == node) {
+      if (!metas_[i].machine->alive()) {
+        RestartMetaMachine(static_cast<int>(i));
+      }
+      return;
+    }
+  }
+  for (size_t i = 0; i < datas_.size(); ++i) {
+    if (datas_[i].machine->node_id() == node) {
+      if (!datas_[i].machine->alive()) {
+        RestartDataMachine(static_cast<int>(i));
+      }
+      return;
+    }
+  }
+  for (size_t i = 0; i < managers_.size(); ++i) {
+    if (managers_[i].machine->node_id() == node) {
+      if (!managers_[i].machine->alive()) {
+        RestartManager(static_cast<int>(i));
+      }
+      return;
+    }
+  }
+  for (size_t i = 0; i < proxies_.size(); ++i) {
+    if (proxies_[i].machine->node_id() == node) {
+      if (!proxies_[i].machine->alive()) {
+        RestartProxy(static_cast<int>(i));
+      }
+      return;
+    }
+  }
 }
 
 Result<int> Testbed::AddMetaMachine(bool settle) {

@@ -64,6 +64,7 @@ class Testbed {
   int num_proxies() const { return static_cast<int>(proxies_.size()); }
   int num_meta() const { return static_cast<int>(metas_.size()); }
   int num_data() const { return static_cast<int>(datas_.size()); }
+  int num_managers() const { return static_cast<int>(managers_.size()); }
   ClientProxy& proxy(int i) { return *proxies_.at(i).proxy; }
   MetaServer& meta(int i) { return *metas_.at(i).server; }
   DataServer& data(int i) { return *datas_.at(i).server; }
@@ -71,7 +72,15 @@ class Testbed {
   sim::Machine& meta_machine(int i) { return *metas_.at(i).machine; }
   sim::Machine& data_machine(int i) { return *datas_.at(i).machine; }
   sim::Machine& proxy_machine(int i) { return *proxies_.at(i).machine; }
+  sim::Machine& manager_machine(int i) { return *managers_.at(i).machine; }
   rpc::Node& proxy_rpc(int i) { return *proxies_.at(i).rpc; }  // protocol tests
+
+  // Node ids, for schedule/partition composition by role + index.
+  sim::NodeId meta_node(int i) const { return metas_.at(i).machine->node_id(); }
+  sim::NodeId data_node(int i) const { return datas_.at(i).machine->node_id(); }
+  sim::NodeId manager_node(int i) const { return manager_nodes_.at(i); }
+  sim::NodeId proxy_node(int i) const { return proxies_.at(i).machine->node_id(); }
+  std::vector<sim::NodeId> AllNodes() const;
 
   // Returns the current Raft-leader manager, or -1.
   int LeaderManager() const;
@@ -95,8 +104,17 @@ class Testbed {
   void CrashDataMachine(int i, bool power_loss);
   void RestartDataMachine(int i);
   void CrashProxy(int i);
+  void RestartProxy(int i);
   void CrashManager(int i, bool power_loss);
   void RestartManager(int i);
+
+  // Role-agnostic conveniences keyed by node id, so nemesis schedules and
+  // tests compose faults declaratively without tracking bundle indices.
+  void Partition(sim::NodeId a, sim::NodeId b) { net_.SetPartitioned(a, b, true); }
+  void Isolate(sim::NodeId node);   // partition `node` from every other node
+  void Heal() { net_.ClearPartitions(); }
+  void Crash(sim::NodeId node, bool power_loss = false);
+  void Restart(sim::NodeId node);
 
   // ---- expansion (§6.3 / Fig. 14) ----
   // Adds a fresh meta machine+server and maps it via CRUSH. Returns its

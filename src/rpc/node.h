@@ -19,6 +19,7 @@
 #include <cassert>
 #include <functional>
 #include <memory>
+#include <set>
 #include <typeindex>
 #include <unordered_map>
 #include <utility>
@@ -239,6 +240,16 @@ class Node {
       state->done.Set();
       return;
     }
+    // Duplicate request suppression. The chaos network may deliver a second
+    // copy of a message (retransmission); a real RPC stack's transport
+    // sequencing discards it before the application sees it. call_ids are
+    // per-(src node) monotonic, so a bounded recent-id window per peer
+    // suffices. Replies need no dedup: a duplicate reply lands on an
+    // already-erased pending call and is dropped above.
+    if (IsDuplicateRequest(src, env.call_id)) {
+      dup_requests_->Add();
+      return;
+    }
     auto hit = handlers_.find(env.type);
     if (hit == handlers_.end()) {
       return;  // no such service here; drop (caller times out)
@@ -246,12 +257,35 @@ class Node {
     hit->second(src, std::move(env));
   }
 
+  bool IsDuplicateRequest(sim::NodeId src, uint64_t call_id) {
+    static constexpr size_t kWindow = 4096;
+    Seen& seen = seen_requests_[src];
+    if (call_id <= seen.floor || seen.ids.contains(call_id)) {
+      return true;
+    }
+    seen.ids.insert(call_id);
+    while (seen.ids.size() > kWindow) {
+      auto first = seen.ids.begin();
+      seen.floor = std::max(seen.floor, *first);
+      seen.ids.erase(first);
+    }
+    return false;
+  }
+
+  struct Seen {
+    uint64_t floor = 0;        // every id <= floor has been seen
+    std::set<uint64_t> ids;    // recent ids above the floor
+  };
+
   sim::Machine& machine_;
   sim::Network& net_;
   obs::Counter* late_replies_;
+  obs::Counter* dup_requests_ =
+      obs::Registry::Global().counter("rpc.duplicate_requests_dropped");
   bool attached_ = false;
   uint64_t next_call_id_ = 1;
   std::unordered_map<std::type_index, std::function<void(sim::NodeId, Envelope)>> handlers_;
+  std::unordered_map<sim::NodeId, Seen> seen_requests_;
   std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_;
 };
 

@@ -30,6 +30,10 @@ class Machine {
     for (int i = 0; i < params.num_disks; ++i) {
       disks_.push_back(std::make_unique<Storage>(loop, params.disk));
       disks_.back()->set_node_id(node_id);
+      // Per-disk deterministic fault seed: chaos runs replay identically
+      // regardless of which other machines exist.
+      disks_.back()->set_fault_seed((static_cast<uint64_t>(node_id) << 8) |
+                                    static_cast<uint64_t>(i));
     }
   }
 
@@ -53,6 +57,18 @@ class Machine {
   }
 
   void Restart() { actor_.Revive(); }
+
+  // Gray failure applied to every disk on the machine (degrade ↔ restore).
+  void SetGrayFailure(const GrayFailure& g) {
+    for (auto& d : disks_) {
+      d->SetGrayFailure(g);
+    }
+  }
+  void ClearGrayFailure() {
+    for (auto& d : disks_) {
+      d->ClearGrayFailure();
+    }
+  }
 
  private:
   NodeId node_id_;

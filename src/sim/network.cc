@@ -1,5 +1,6 @@
 #include "src/sim/network.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "src/obs/context.h"
@@ -17,6 +18,33 @@ void Network::Register(NodeId id, Handler handler) {
 
 void Network::Unregister(NodeId id) { endpoints_.erase(id); }
 
+const LinkFaults& Network::FaultsFor(NodeId a, NodeId b) const {
+  if (!link_faults_.empty()) {
+    auto it = link_faults_.find(Norm(a, b));
+    if (it != link_faults_.end()) {
+      return it->second;
+    }
+  }
+  return default_faults_;
+}
+
+void Network::ScheduleDelivery(NodeId src, NodeId dst, std::any msg, size_t bytes,
+                               Nanos arrive, obs::OpContext ctx, uint64_t wire_span) {
+  auto& tracer = obs::Tracer::Global();
+  if (wire_span != 0) {
+    tracer.End(wire_span, arrive);
+  }
+  loop_.ScheduleAt(arrive, [this, src, dst, m = std::move(msg), bytes, ctx]() mutable {
+    auto dit = endpoints_.find(dst);
+    if (dit == endpoints_.end() || Partitioned(src, dst)) {
+      dropped_->Add();
+      return;
+    }
+    obs::ContextGuard guard(ctx);
+    dit->second.handler(src, std::move(m), bytes);
+  });
+}
+
 void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
   sent_->Add();
   bytes_->Add(bytes);
@@ -26,7 +54,8 @@ void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
     return;  // sender died between deciding to send and sending
   }
   Nanos arrive;
-  if (src == dst) {
+  bool loopback = src == dst;
+  if (loopback) {
     arrive = loop_.Now() + params_.loopback_latency;
   } else {
     const Nanos tx_nanos =
@@ -43,17 +72,35 @@ void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
   if (tracer.enabled()) {
     wire = tracer.BeginWith(ctx, obs::SpanKind::kNet, "net.wire", src,
                             loop_.Now(), bytes);
-    tracer.End(wire, arrive);
   }
-  loop_.ScheduleAt(arrive, [this, src, dst, m = std::move(msg), bytes, ctx]() mutable {
-    auto dit = endpoints_.find(dst);
-    if (dit == endpoints_.end() || Partitioned(src, dst)) {
-      dropped_->Add();
-      return;
+  // Chaos faults, non-loopback only. Draws happen in a fixed order
+  // (drop, delay, dup) so a seed replays the identical fault sequence; a
+  // fault-free run consumes no randomness at all.
+  if (!loopback) {
+    const LinkFaults& f = FaultsFor(src, dst);
+    if (f.active()) {
+      const Nanos spread = f.max_extra_delay > 0 ? f.max_extra_delay : params_.base_latency;
+      if (f.drop_prob > 0 && fault_rng_.Bernoulli(f.drop_prob)) {
+        fault_dropped_->Add();
+        if (wire != 0) {
+          tracer.End(wire, arrive, /*ok=*/false);
+        }
+        return;  // paid its NIC time, then the wire ate it
+      }
+      if (f.delay_prob > 0 && fault_rng_.Bernoulli(f.delay_prob)) {
+        fault_delayed_->Add();
+        arrive += fault_rng_.UniformRange(1, spread);
+      }
+      if (f.dup_prob > 0 && fault_rng_.Bernoulli(f.dup_prob)) {
+        fault_duplicated_->Add();
+        const Nanos dup_arrive = arrive + fault_rng_.UniformRange(1, spread);
+        std::any copy = msg;  // copy before the primary send consumes it
+        ScheduleDelivery(src, dst, std::move(copy), bytes, dup_arrive, ctx,
+                         /*wire_span=*/0);
+      }
     }
-    obs::ContextGuard guard(ctx);
-    dit->second.handler(src, std::move(m), bytes);
-  });
+  }
+  ScheduleDelivery(src, dst, std::move(msg), bytes, arrive, ctx, wire);
 }
 
 void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {

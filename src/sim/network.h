@@ -12,12 +12,15 @@
 #include <any>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
 #include <utility>
 
+#include "src/common/random.h"
 #include "src/common/units.h"
+#include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/resource.h"
@@ -32,6 +35,22 @@ struct NetParams {
   Nanos loopback_latency = Micros(5);       // same-machine delivery
   double bw_bytes_per_sec = 3.1e9;          // 25 GbE per NIC (shared)
   int nic_lanes = 1;  // the wire serializes; lanes model nothing extra
+};
+
+// Probabilistic per-link fault injection for chaos runs. Every draw comes
+// from the network's seeded RNG, consumed in deterministic send order, so a
+// given seed replays the identical fault sequence. Loopback traffic is
+// exempt. Note the wire may duplicate a message (modeling retransmission);
+// rpc::Node discards duplicate *requests* on receive, the way a real RPC
+// stack's TCP sequencing does — drop and reorder are the faults protocols
+// must genuinely tolerate.
+struct LinkFaults {
+  double drop_prob = 0.0;    // message vanishes after paying its NIC time
+  double dup_prob = 0.0;     // a second copy arrives with extra delay
+  double delay_prob = 0.0;   // message is held back (breaks per-link FIFO)
+  Nanos max_extra_delay = 0; // uniform extra delay for delayed/dup copies
+
+  bool active() const { return drop_prob > 0 || dup_prob > 0 || delay_prob > 0; }
 };
 
 class Network {
@@ -57,8 +76,26 @@ class Network {
   void ClearPartitions() { partitions_.clear(); }
   bool Partitioned(NodeId a, NodeId b) const;
 
+  // --- chaos fault injection -------------------------------------------
+  // Faults apply to non-loopback sends only. Per-link settings (normalized
+  // unordered pair) override the default. When no faults are active the send
+  // path consumes no randomness, so enabling chaos never perturbs the
+  // deterministic schedule of a fault-free run.
+  void SeedFaults(uint64_t seed) { fault_rng_ = Rng(seed); }
+  void SetDefaultLinkFaults(const LinkFaults& f) { default_faults_ = f; }
+  void SetLinkFaults(NodeId a, NodeId b, const LinkFaults& f) {
+    link_faults_[Norm(a, b)] = f;
+  }
+  void ClearLinkFaults() {
+    default_faults_ = LinkFaults{};
+    link_faults_.clear();
+  }
+
   uint64_t messages_sent() const { return sent_->value(); }
   uint64_t messages_dropped() const { return dropped_->value(); }
+  uint64_t messages_fault_dropped() const { return fault_dropped_->value(); }
+  uint64_t messages_duplicated() const { return fault_duplicated_->value(); }
+  uint64_t messages_delayed() const { return fault_delayed_->value(); }
 
  private:
   struct Endpoint {
@@ -66,14 +103,27 @@ class Network {
     std::unique_ptr<Resource> nic;
   };
 
+  static std::pair<NodeId, NodeId> Norm(NodeId a, NodeId b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+  const LinkFaults& FaultsFor(NodeId a, NodeId b) const;
+  void ScheduleDelivery(NodeId src, NodeId dst, std::any msg, size_t bytes,
+                        Nanos arrive, obs::OpContext ctx, uint64_t wire_span);
+
   EventLoop& loop_;
   NetParams params_;
   obs::Scope scope_;
   obs::Counter* sent_;
   obs::Counter* dropped_;
   obs::Counter* bytes_;
+  obs::Counter* fault_dropped_ = scope_.counter("fault_dropped");
+  obs::Counter* fault_duplicated_ = scope_.counter("fault_duplicated");
+  obs::Counter* fault_delayed_ = scope_.counter("fault_delayed");
   std::unordered_map<NodeId, Endpoint> endpoints_;
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  Rng fault_rng_{0xc4a05u};
+  LinkFaults default_faults_;
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> link_faults_;
 };
 
 }  // namespace cheetah::sim

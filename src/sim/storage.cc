@@ -105,6 +105,17 @@ Task<Status> Storage::WriteBlocks(std::string volume, uint64_t offset, std::stri
     vol.bytes_used -= it->second.length;
     vol.extents.erase(it);
   }
+  // Flaky media: the write acks clean but what lands on the platter differs
+  // from what the checksum covers, so later reads/probes reject the extent.
+  // Flipping the stored checksum (not recomputing over flipped bytes) models
+  // this in both full-content and metadata-only modes.
+  if (gray_.write_corrupt_prob > 0 && fault_rng_.Bernoulli(gray_.write_corrupt_prob)) {
+    ++corrupted_;
+    checksum ^= 0x5eedbad0u;
+    if (!data.empty()) {
+      data[0] = static_cast<char>(data[0] ^ 0x40);
+    }
+  }
   if (!store_volume_content_) {
     data.clear();
     data.shrink_to_fit();

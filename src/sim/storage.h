@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/obs/metrics.h"
@@ -43,6 +44,16 @@ struct DiskParams {
                       .fsync_base = 0,
                       .channels = 16};
   }
+};
+
+// Gray failures: the disk keeps answering, just badly. Unlike crashes these
+// degrade service without tripping failure detectors, which is exactly what
+// makes them dangerous (ROADMAP: production north-star). All probabilistic
+// draws come from the disk's seeded fault RNG for replayability.
+struct GrayFailure {
+  double latency_multiplier = 1.0;  // N× slow disk (applies to every charge)
+  Nanos fsync_stuck_for = 0;        // fsyncs block until now + this, once set
+  double write_corrupt_prob = 0.0;  // volume writes silently corrupt on media
 };
 
 class Storage {
@@ -90,15 +101,21 @@ class Storage {
     void await_resume() const noexcept {}
   };
   IoAwaiter ChargeWrite(uint64_t bytes) {
-    return IoAwaiter{this, channels_, bus_, params_.write_base,
-                     BwNanos(bytes, params_.write_bw_bytes_per_sec), "disk.write", bytes};
+    return IoAwaiter{this, channels_, bus_, Scaled(params_.write_base),
+                     Scaled(BwNanos(bytes, params_.write_bw_bytes_per_sec)), "disk.write",
+                     bytes};
   }
   IoAwaiter ChargeRead(uint64_t bytes) {
-    return IoAwaiter{this, channels_, bus_, params_.read_base,
-                     BwNanos(bytes, params_.read_bw_bytes_per_sec), "disk.read", bytes};
+    return IoAwaiter{this, channels_, bus_, Scaled(params_.read_base),
+                     Scaled(BwNanos(bytes, params_.read_bw_bytes_per_sec)), "disk.read",
+                     bytes};
   }
   IoAwaiter ChargeFsync() {
-    return IoAwaiter{this, channels_, bus_, params_.fsync_base, 0, "disk.fsync", 0};
+    Nanos base = Scaled(params_.fsync_base);
+    if (loop_->Now() < fsync_stuck_until_) {
+      base += fsync_stuck_until_ - loop_->Now();  // stuck device firmware
+    }
+    return IoAwaiter{this, channels_, bus_, base, 0, "disk.fsync", 0};
   }
 
   // File-plane variants: sequential log/SSTable streams pay base + transfer
@@ -106,12 +123,12 @@ class Storage {
   // head-of-line-block small volume I/O (and vice versa).
   IoAwaiter ChargeFileWrite(uint64_t bytes) {
     return IoAwaiter{this, channels_, bus_,
-                     params_.write_base + BwNanos(bytes, params_.write_bw_bytes_per_sec),
+                     Scaled(params_.write_base + BwNanos(bytes, params_.write_bw_bytes_per_sec)),
                      0, "disk.file_write", bytes};
   }
   IoAwaiter ChargeFileRead(uint64_t bytes) {
     return IoAwaiter{this, channels_, bus_,
-                     params_.read_base + BwNanos(bytes, params_.read_bw_bytes_per_sec),
+                     Scaled(params_.read_base + BwNanos(bytes, params_.read_bw_bytes_per_sec)),
                      0, "disk.file_read", bytes};
   }
 
@@ -166,6 +183,20 @@ class Storage {
   // Media failure: everything is lost.
   void DestroyMedia();
 
+  // Gray failures. fsync_stuck_for is converted to an absolute deadline at
+  // install time; fsyncs issued before it complete only once it passes.
+  void SetGrayFailure(const GrayFailure& g) {
+    gray_ = g;
+    fsync_stuck_until_ = g.fsync_stuck_for > 0 ? loop_->Now() + g.fsync_stuck_for : 0;
+  }
+  void ClearGrayFailure() {
+    gray_ = GrayFailure{};
+    fsync_stuck_until_ = 0;
+  }
+  const GrayFailure& gray_failure() const { return gray_; }
+  void set_fault_seed(uint64_t seed) { fault_rng_ = Rng(seed); }
+  uint64_t writes_corrupted() const { return corrupted_; }
+
   uint64_t TotalFileBytes() const;
 
  private:
@@ -188,6 +219,15 @@ class Storage {
     return static_cast<Nanos>(static_cast<double>(bytes) / bw * 1e9);
   }
 
+  // Exact identity when healthy so enabling the chaos build path never
+  // perturbs a fault-free run.
+  Nanos Scaled(Nanos n) const {
+    if (gray_.latency_multiplier == 1.0) {
+      return n;
+    }
+    return static_cast<Nanos>(static_cast<double>(n) * gray_.latency_multiplier);
+  }
+
   // Counts the I/O and, when tracing, records a closed [now, done] disk span
   // attributed to the current op context. Defined in storage.cc to keep
   // trace.h out of this header.
@@ -202,6 +242,10 @@ class Storage {
   obs::Counter* io_bytes_;
   uint32_t node_id_ = 0;
   bool store_volume_content_ = true;
+  GrayFailure gray_;
+  Nanos fsync_stuck_until_ = 0;
+  Rng fault_rng_{0xd15cu};
+  uint64_t corrupted_ = 0;
   std::unordered_map<std::string, File> files_;
   std::unordered_map<std::string, Volume> volumes_;
 };

@@ -1,0 +1,219 @@
+// Unit tests for the chaos fault knobs: network drop/dup/delay, storage gray
+// failures, and determinism of both under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/machine.h"
+#include "src/sim/network.h"
+#include "src/sim/storage.h"
+#include "tests/test_util.h"
+
+namespace cheetah::sim {
+namespace {
+
+TEST(NetworkFaults, DropProbabilityOneLosesEverything) {
+  EventLoop loop;
+  Network net(loop, NetParams{});
+  int delivered = 0;
+  net.Register(1, [](auto...) {});
+  net.Register(2, [&](auto...) { ++delivered; });
+  LinkFaults f;
+  f.drop_prob = 1.0;
+  net.SetDefaultLinkFaults(f);
+  net.SeedFaults(7);
+  for (int i = 0; i < 10; ++i) {
+    net.Send(1, 2, 0, 100);
+  }
+  loop.RunFor(Seconds(1));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.messages_fault_dropped(), 10u);
+}
+
+TEST(NetworkFaults, LoopbackIsExempt) {
+  EventLoop loop;
+  Network net(loop, NetParams{});
+  int delivered = 0;
+  net.Register(1, [&](auto...) { ++delivered; });
+  LinkFaults f;
+  f.drop_prob = 1.0;
+  net.SetDefaultLinkFaults(f);
+  net.Send(1, 1, 0, 100);
+  loop.RunFor(Seconds(1));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkFaults, DuplicateDeliversTwice) {
+  EventLoop loop;
+  Network net(loop, NetParams{});
+  std::vector<std::string> got;
+  net.Register(1, [](auto...) {});
+  net.Register(2, [&](NodeId, std::any msg, size_t) {
+    got.push_back(std::any_cast<std::string>(msg));
+  });
+  LinkFaults f;
+  f.dup_prob = 1.0;
+  f.max_extra_delay = Millis(1);
+  net.SetDefaultLinkFaults(f);
+  net.SeedFaults(7);
+  net.Send(1, 2, std::string("payload"), 100);
+  loop.RunFor(Seconds(1));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "payload");
+  EXPECT_EQ(got[1], "payload");
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+}
+
+TEST(NetworkFaults, DelayIsBoundedAndBreaksNoMessages) {
+  EventLoop loop;
+  NetParams params;
+  Network net(loop, params);
+  std::vector<Nanos> arrivals;
+  net.Register(1, [](auto...) {});
+  net.Register(2, [&](auto...) { arrivals.push_back(loop.Now()); });
+  LinkFaults f;
+  f.delay_prob = 1.0;
+  f.max_extra_delay = Millis(2);
+  net.SetDefaultLinkFaults(f);
+  net.SeedFaults(7);
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    net.Send(1, 2, 0, 100);
+  }
+  loop.RunFor(Seconds(1));
+  ASSERT_EQ(arrivals.size(), static_cast<size_t>(n));
+  EXPECT_EQ(net.messages_delayed(), static_cast<uint64_t>(n));
+  for (Nanos t : arrivals) {
+    EXPECT_GT(t, params.base_latency);  // delayed beyond the undisturbed time
+    EXPECT_LE(t, Seconds(1));
+  }
+}
+
+TEST(NetworkFaults, PerLinkOverridesDefault) {
+  EventLoop loop;
+  Network net(loop, NetParams{});
+  int to2 = 0, to3 = 0;
+  net.Register(1, [](auto...) {});
+  net.Register(2, [&](auto...) { ++to2; });
+  net.Register(3, [&](auto...) { ++to3; });
+  LinkFaults drop_all;
+  drop_all.drop_prob = 1.0;
+  net.SetLinkFaults(1, 2, drop_all);  // only the 1<->2 link is lossy
+  net.SeedFaults(7);
+  net.Send(1, 2, 0, 100);
+  net.Send(1, 3, 0, 100);
+  loop.RunFor(Seconds(1));
+  EXPECT_EQ(to2, 0);
+  EXPECT_EQ(to3, 1);
+  net.ClearLinkFaults();
+  net.Send(1, 2, 0, 100);
+  loop.RunFor(Seconds(1));
+  EXPECT_EQ(to2, 1);
+}
+
+TEST(NetworkFaults, IdenticalSeedsReplayIdentically) {
+  auto run = [](uint64_t seed) {
+    EventLoop loop;
+    Network net(loop, NetParams{});
+    std::vector<Nanos> arrivals;
+    net.Register(1, [](auto...) {});
+    net.Register(2, [&](auto...) { arrivals.push_back(loop.Now()); });
+    LinkFaults f;
+    f.drop_prob = 0.2;
+    f.dup_prob = 0.2;
+    f.delay_prob = 0.3;
+    f.max_extra_delay = Millis(3);
+    net.SetDefaultLinkFaults(f);
+    net.SeedFaults(seed);
+    for (int i = 0; i < 200; ++i) {
+      net.Send(1, 2, 0, 100 + i);
+    }
+    loop.RunFor(Seconds(5));
+    return arrivals;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+// ---- storage gray failures ----
+
+Nanos TimeOneWrite(Storage& disk, Machine& m, uint64_t bytes) {
+  EventLoop& loop = m.loop();
+  const Nanos t0 = loop.Now();
+  Nanos done = 0;
+  m.actor().Spawn([](Storage* d, uint64_t bytes, Nanos* done, EventLoop* loop) -> Task<> {
+    (void)co_await d->WriteBlocks("vol", 0, std::string(bytes, 'x'), 1);
+    *done = loop->Now();
+  }(&disk, bytes, &done, &loop));
+  loop.RunFor(Seconds(5));
+  return done - t0;
+}
+
+TEST(StorageGray, LatencyMultiplierSlowsIo) {
+  EventLoop loop;
+  Machine m(loop, 1, "m", MachineParams{});
+  const Nanos healthy = TimeOneWrite(m.disk(), m, 4096);
+  GrayFailure g;
+  g.latency_multiplier = 10.0;
+  m.SetGrayFailure(g);
+  const Nanos degraded = TimeOneWrite(m.disk(), m, 4096);
+  EXPECT_GE(degraded, 5 * healthy);
+  m.ClearGrayFailure();
+  EXPECT_EQ(TimeOneWrite(m.disk(), m, 4096), healthy);
+}
+
+TEST(StorageGray, StuckFsyncBlocksUntilDeadline) {
+  EventLoop loop;
+  Machine m(loop, 1, "m", MachineParams{});
+  GrayFailure g;
+  g.fsync_stuck_for = Millis(50);
+  m.SetGrayFailure(g);
+  const Nanos t = TimeOneWrite(m.disk(), m, 4096);  // WriteBlocks fsyncs
+  EXPECT_GE(t, Millis(50));
+  // After the stuck window passes, fsyncs are normal again even without
+  // ClearGrayFailure (the device "recovered").
+  const Nanos t2 = TimeOneWrite(m.disk(), m, 4096);
+  EXPECT_LT(t2, Millis(5));
+}
+
+TEST(StorageGray, FlakyMediaCorruptsChecksum) {
+  EventLoop loop;
+  Machine m(loop, 1, "m", MachineParams{});
+  Storage& disk = m.disk();
+  GrayFailure g;
+  g.write_corrupt_prob = 1.0;
+  disk.SetGrayFailure(g);
+  bool wrote = false;
+  m.actor().Spawn([](Storage* d, bool* wrote) -> Task<> {
+    (void)co_await d->WriteBlocks("vol", 0, std::string(4096, 'x'), 0xabcdu);
+    *wrote = true;
+  }(&disk, &wrote));
+  loop.RunFor(Seconds(1));
+  ASSERT_TRUE(wrote);
+  EXPECT_EQ(disk.writes_corrupted(), 1u);
+  auto cs = disk.PeekChecksum("vol", 0);
+  ASSERT_TRUE(cs.has_value());
+  EXPECT_NE(*cs, 0xabcdu);  // a read-path verify will reject this replica
+}
+
+TEST(StorageGray, HealthyDiskIsExactlyUnchanged) {
+  EventLoop loop;
+  Machine m(loop, 1, "m", MachineParams{});
+  Storage& disk = m.disk();
+  bool ok = false;
+  m.actor().Spawn([](Storage* d, bool* ok) -> Task<> {
+    (void)co_await d->WriteBlocks("vol", 0, std::string(64, 'x'), 7u);
+    auto r = co_await d->ReadBlocks("vol", 0, 64);
+    *ok = r.ok() && r->size() == 64;
+  }(&disk, &ok));
+  loop.RunFor(Seconds(1));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(disk.writes_corrupted(), 0u);
+  EXPECT_EQ(*disk.PeekChecksum("vol", 0), 7u);
+}
+
+}  // namespace
+}  // namespace cheetah::sim
