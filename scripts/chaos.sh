@@ -5,14 +5,17 @@
 # reproduces a failure byte-for-byte.
 #
 # Usage: scripts/chaos.sh [--seeds N] [--from K] [--preset default|sanitize]
-#   --seeds N    run seeds 1..N (default 10)
+#   --seeds N    run seeds FROM..FROM+N-1 (default 10)
 #   --from K     start at seed K instead of 1 (resume a hunt)
 #   --preset P   CMake preset to build/run under (default: default)
+# The seed range is also overridable via environment (flags win):
+#   CHEETAH_CHAOS_HUNT_SEEDS / CHEETAH_CHAOS_HUNT_FROM — handy for CI matrix
+#   entries that can't pass arguments.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-seeds=10
-from=1
+seeds="${CHEETAH_CHAOS_HUNT_SEEDS:-10}"
+from="${CHEETAH_CHAOS_HUNT_FROM:-1}"
 preset=default
 while [[ $# -gt 0 ]]; do
   case "$1" in

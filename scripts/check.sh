@@ -17,3 +17,12 @@ ctest --preset "$preset" -j "$(nproc)"
 # made explicit so the pin survives any future default change.
 # scripts/chaos.sh hunts with larger seed ranges.
 CHEETAH_CHAOS_SEEDS=1,2,3 ctest --preset "$preset" -L chaos -j "$(nproc)"
+
+# QoS tier: the scheduler/admission unit tests plus the chaos-with-QoS run
+# (ctest label `qos`), then the overload figure at reduced scale — the fig21
+# binary asserts its own acceptance criteria (foreground p99 isolation,
+# background completion after load drops) and exits non-zero on regression.
+ctest --preset "$preset" -L qos -j "$(nproc)"
+builddir=build
+[[ "$preset" == "sanitize" ]] && builddir=build-sanitize
+CHEETAH_FIG21_SMOKE=1 "$builddir/bench/fig21_overload"

@@ -26,6 +26,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "ABORTED";
     case ErrorCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kOverloaded:
+      return "OVERLOADED";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

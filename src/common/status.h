@@ -26,6 +26,7 @@ enum class ErrorCode {
   kStaleView,         // request's view number does not match the server's
   kAborted,           // request revoked by recovery
   kResourceExhausted, // out of space
+  kOverloaded,        // admission control pushback; retry after a delay
   kInternal,
 };
 
@@ -55,6 +56,7 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string m = "") {
     return {ErrorCode::kResourceExhausted, std::move(m)};
   }
+  static Status Overloaded(std::string m = "") { return {ErrorCode::kOverloaded, std::move(m)}; }
   static Status Internal(std::string m = "") { return {ErrorCode::kInternal, std::move(m)}; }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
@@ -65,6 +67,7 @@ class [[nodiscard]] Status {
   bool IsTimeout() const { return code_ == ErrorCode::kTimeout; }
   bool IsStaleView() const { return code_ == ErrorCode::kStaleView; }
   bool IsUnavailable() const { return code_ == ErrorCode::kUnavailable; }
+  bool IsOverloaded() const { return code_ == ErrorCode::kOverloaded; }
 
   std::string ToString() const;
 

@@ -5,6 +5,7 @@
 #include "src/common/crc32c.h"
 #include "src/common/logging.h"
 #include "src/obs/trace.h"
+#include "src/qos/qos.h"
 #include "src/sim/actor.h"
 
 namespace cheetah::core {
@@ -20,6 +21,16 @@ ClientProxy::ClientProxy(rpc::Node& rpc, CheetahOptions options,
       counters_{scope_.counter("puts"),    scope_.counter("gets"),
                 scope_.counter("deletes"), scope_.counter("retries"),
                 scope_.counter("failures"), scope_.counter("cache_hits")} {}
+
+ClientProxy::MetaWindow& ClientProxy::WindowFor(sim::NodeId dst) {
+  auto it = windows_.find(dst);
+  if (it == windows_.end()) {
+    auto mw = std::make_unique<MetaWindow>(options_.aimd);
+    mw->window_gauge = scope_.gauge("aimd_window." + std::to_string(dst));
+    it = windows_.emplace(dst, std::move(mw)).first;
+  }
+  return *it->second;
+}
 
 void ClientProxy::Start() {
   rpc_.Serve<MetaPersistedNotify>([this](sim::NodeId src, MetaPersistedNotify req) {
@@ -155,6 +166,10 @@ sim::Task<Status> ClientProxy::PutImpl(std::string name, std::string data) {
     counters_.retries->Add();
     if (s.IsStaleView()) {
       (void)co_await RefreshTopology();
+    } else if (s.IsOverloaded()) {
+      // Admission-control pushback, not a failure: honor the server's
+      // retry-after hint without escalating to RE-META or refreshing views.
+      co_await sim::SleepFor(qos::RetryAfterOf(s, options_.backoff_base));
     } else if (s.code() == ErrorCode::kIoError) {
       re_data = true;  // a data server failed us mid-write (§5.3 RE-DATA)
       co_await BackoffAndRefresh(attempt);
@@ -185,7 +200,7 @@ sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::st
   alloc.proxy_node = rpc_.id();
   alloc.re_meta = re_meta;
   alloc.re_data = re_data;
-  auto reply = co_await rpc_.Call(primary, std::move(alloc), options_.rpc_timeout);
+  auto reply = co_await CallMeta(primary, std::move(alloc));
   if (!reply.ok()) {
     persist_waits_.erase(reqid);
     if (reply.status().IsTimeout()) {
@@ -329,8 +344,7 @@ sim::Task<Result<std::string>> ClientProxy::GetImpl(std::string name) {
       req.name = name;
       tasks.push_back([](ClientProxy* self, sim::NodeId primary, GetMetaRequest req,
                          std::shared_ptr<ParallelGet> par) -> sim::Task<> {
-        par->meta = co_await self->rpc_.Call(primary, std::move(req),
-                                             self->options_.rpc_timeout);
+        par->meta = co_await self->CallMeta(primary, std::move(req));
       }(this, primary, std::move(req), par));
       co_await sim::WhenAllVoid(std::move(tasks));
       auto& meta = par->meta;
@@ -358,7 +372,7 @@ sim::Task<Result<std::string>> ClientProxy::GetImpl(std::string name) {
     GetMetaRequest req;
     req.view = topo_.view;
     req.name = name;
-    auto meta = co_await rpc_.Call(primary, std::move(req), options_.rpc_timeout);
+    auto meta = co_await CallMeta(primary, std::move(req));
     if (!meta.ok()) {
       if (meta.status().IsNotFound()) {
         co_return meta.status();
@@ -371,6 +385,9 @@ sim::Task<Result<std::string>> ClientProxy::GetImpl(std::string name) {
       }
       if (meta.status().IsStaleView()) {
         (void)co_await RefreshTopology();
+      } else if (meta.status().IsOverloaded()) {
+        co_await sim::SleepFor(
+            qos::RetryAfterOf(meta.status(), options_.backoff_base));
       } else {
         co_await BackoffAndRefresh(attempt);
       }
@@ -460,7 +477,7 @@ sim::Task<Status> ClientProxy::DeleteImpl(std::string name) {
     req.name = name;
     req.reqid = reqid;
     req.proxy_id = proxy_id_;
-    auto r = co_await rpc_.Call(primary, std::move(req), options_.rpc_timeout);
+    auto r = co_await CallMeta(primary, std::move(req));
     if (r.ok()) {
       counters_.deletes->Add();
       co_return Status::Ok();
@@ -474,6 +491,9 @@ sim::Task<Status> ClientProxy::DeleteImpl(std::string name) {
     }
     if (r.status().IsStaleView()) {
       (void)co_await RefreshTopology();
+    } else if (r.status().IsOverloaded()) {
+      co_await sim::SleepFor(
+          qos::RetryAfterOf(r.status(), options_.backoff_base));
     } else {
       co_await BackoffAndRefresh(attempt);
     }

@@ -24,6 +24,7 @@
 #include "src/core/messages.h"
 #include "src/core/options.h"
 #include "src/obs/metrics.h"
+#include "src/qos/aimd.h"
 #include "src/rpc/node.h"
 #include "src/sim/sync.h"
 
@@ -75,6 +76,32 @@ class ClientProxy {
   sim::Task<Result<std::string>> GetImpl(std::string name);
   sim::Task<Status> DeleteImpl(std::string name);
 
+  // Meta-server RPC with proxy-side admission: under QoS every call toward a
+  // meta server passes through that server's AIMD window, so pushback
+  // (kOverloaded or timeout) shrinks this proxy's concurrency toward the
+  // node instead of hammering it with retries. Member template so both the
+  // put/delete and get paths share it; `req` arrives as an xvalue of a named
+  // object (see the GCC 12 coroutine-argument caution in rpc/node.h).
+  template <rpc::RpcRequest Req>
+  sim::Task<Result<typename Req::Response>> CallMeta(sim::NodeId dst, Req req) {
+    if (!options_.qos.enabled) {
+      co_return co_await rpc_.Call(dst, std::move(req), options_.rpc_timeout);
+    }
+    MetaWindow& mw = WindowFor(dst);
+    co_await mw.win.Acquire();
+    Result<typename Req::Response> r =
+        co_await rpc_.Call(dst, std::move(req), options_.rpc_timeout);
+    if (r.ok()) {
+      mw.win.Release(qos::AimdWindow::Signal::kSuccess);
+    } else if (r.status().IsOverloaded() || r.status().IsTimeout()) {
+      mw.win.Release(qos::AimdWindow::Signal::kPushback);
+    } else {
+      mw.win.Release(qos::AimdWindow::Signal::kNeutral);
+    }
+    mw.window_gauge->Set(static_cast<int64_t>(mw.win.window()));
+    co_return r;
+  }
+
   sim::Task<Status> EnsureTopology();
   sim::Task<Status> RefreshTopology();
   void ReportSuspect(sim::NodeId node);
@@ -94,12 +121,20 @@ class ClientProxy {
                                                                    cluster::TopologyPush req);
   sim::Task<> HeartbeatLoop();
 
+  struct MetaWindow {
+    explicit MetaWindow(const qos::AimdParams& params) : win(params) {}
+    qos::AimdWindow win;
+    obs::Gauge* window_gauge = nullptr;
+  };
+  MetaWindow& WindowFor(sim::NodeId dst);
+
   rpc::Node& rpc_;
   CheetahOptions options_;
   std::vector<sim::NodeId> manager_nodes_;
   uint32_t proxy_id_;
   Rng rng_;
   Nanos backoff_ = 0;  // previous retry sleep (decorrelated jitter state)
+  std::map<sim::NodeId, std::unique_ptr<MetaWindow>> windows_;
 
   cluster::TopologyMap topo_;
   uint64_t next_req_ = 1;

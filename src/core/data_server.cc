@@ -4,6 +4,7 @@
 
 #include "src/common/crc32c.h"
 #include "src/common/logging.h"
+#include "src/qos/qos.h"
 #include "src/sim/actor.h"
 
 namespace cheetah::core {
@@ -20,25 +21,36 @@ DataServer::DataServer(rpc::Node& rpc, CheetahOptions options,
                 scope_.counter("recovery_bytes")} {}
 
 void DataServer::Start() {
-  rpc_.Serve<DataWriteRequest>([this](sim::NodeId src, DataWriteRequest req) {
-    return HandleWrite(src, std::move(req));
-  });
-  rpc_.Serve<DataReadRequest>([this](sim::NodeId src, DataReadRequest req) {
-    return HandleRead(src, std::move(req));
-  });
-  rpc_.Serve<DataProbeRequest>([this](sim::NodeId src, DataProbeRequest req) {
-    return HandleProbe(src, std::move(req));
-  });
-  rpc_.Serve<DataDiscardRequest>([this](sim::NodeId src, DataDiscardRequest req) {
-    return HandleDiscard(src, std::move(req));
-  });
-  rpc_.Serve<VolumePullRequest>([this](sim::NodeId src, VolumePullRequest req) {
-    return HandlePull(src, std::move(req));
-  });
+  rpc_.Serve<DataWriteRequest>(
+      [this](sim::NodeId src, DataWriteRequest req) {
+        return HandleWrite(src, std::move(req));
+      },
+      qos::TrafficClass::kForeground);
+  rpc_.Serve<DataReadRequest>(
+      [this](sim::NodeId src, DataReadRequest req) {
+        return HandleRead(src, std::move(req));
+      },
+      qos::TrafficClass::kForeground);
+  rpc_.Serve<DataProbeRequest>(
+      [this](sim::NodeId src, DataProbeRequest req) {
+        return HandleProbe(src, std::move(req));
+      },
+      qos::TrafficClass::kMaintenance);
+  rpc_.Serve<DataDiscardRequest>(
+      [this](sim::NodeId src, DataDiscardRequest req) {
+        return HandleDiscard(src, std::move(req));
+      },
+      qos::TrafficClass::kMaintenance);
+  rpc_.Serve<VolumePullRequest>(
+      [this](sim::NodeId src, VolumePullRequest req) {
+        return HandlePull(src, std::move(req));
+      },
+      qos::TrafficClass::kBackground);
   rpc_.Serve<cluster::RecoverVolumeRequest>(
       [this](sim::NodeId src, cluster::RecoverVolumeRequest req) {
         return HandleRecover(src, std::move(req));
-      });
+      },
+      qos::TrafficClass::kBackground);
   rpc_.machine().actor().Spawn(HeartbeatLoop());
 }
 

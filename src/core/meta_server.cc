@@ -5,6 +5,7 @@
 #include "src/common/crc32c.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/qos/qos.h"
 #include "src/sim/actor.h"
 #include "src/sim/sync.h"
 
@@ -52,24 +53,36 @@ MetaServer::Stats MetaServer::stats() const {
 }
 
 void MetaServer::Start() {
-  rpc_.Serve<PutAllocRequest>([this](sim::NodeId src, PutAllocRequest req) {
-    return HandlePutAlloc(src, std::move(req));
-  });
-  rpc_.Serve<PutCommitNotify>([this](sim::NodeId src, PutCommitNotify req) {
-    return HandleCommit(src, std::move(req));
-  });
-  rpc_.Serve<GetMetaRequest>([this](sim::NodeId src, GetMetaRequest req) {
-    return HandleGet(src, std::move(req));
-  });
-  rpc_.Serve<DeleteRequest>([this](sim::NodeId src, DeleteRequest req) {
-    return HandleDelete(src, std::move(req));
-  });
-  rpc_.Serve<ReplicateMetaXRequest>([this](sim::NodeId src, ReplicateMetaXRequest req) {
-    return HandleReplicate(src, std::move(req));
-  });
-  rpc_.Serve<PgPullRequest>([this](sim::NodeId src, PgPullRequest req) {
-    return HandlePgPull(src, std::move(req));
-  });
+  rpc_.Serve<PutAllocRequest>(
+      [this](sim::NodeId src, PutAllocRequest req) {
+        return HandlePutAlloc(src, std::move(req));
+      },
+      qos::TrafficClass::kForeground);
+  rpc_.Serve<PutCommitNotify>(
+      [this](sim::NodeId src, PutCommitNotify req) {
+        return HandleCommit(src, std::move(req));
+      },
+      qos::TrafficClass::kForeground);
+  rpc_.Serve<GetMetaRequest>(
+      [this](sim::NodeId src, GetMetaRequest req) {
+        return HandleGet(src, std::move(req));
+      },
+      qos::TrafficClass::kForeground);
+  rpc_.Serve<DeleteRequest>(
+      [this](sim::NodeId src, DeleteRequest req) {
+        return HandleDelete(src, std::move(req));
+      },
+      qos::TrafficClass::kForeground);
+  rpc_.Serve<ReplicateMetaXRequest>(
+      [this](sim::NodeId src, ReplicateMetaXRequest req) {
+        return HandleReplicate(src, std::move(req));
+      },
+      qos::TrafficClass::kReplication);
+  rpc_.Serve<PgPullRequest>(
+      [this](sim::NodeId src, PgPullRequest req) {
+        return HandlePgPull(src, std::move(req));
+      },
+      qos::TrafficClass::kBackground);
   rpc_.Serve<cluster::TopologyPush>([this](sim::NodeId src, cluster::TopologyPush req) {
     return HandleTopologyPush(src, std::move(req));
   });

@@ -14,6 +14,7 @@
 
 #include "src/common/units.h"
 #include "src/kv/options.h"
+#include "src/qos/qos.h"
 
 namespace cheetah::core {
 
@@ -60,6 +61,13 @@ struct CheetahOptions {
   // prove the linearizability checker catches a real consistency bug; never
   // enable outside tests/chaos.
   bool unsafe_skip_persist_wait = false;
+
+  // --- overload control (src/qos) ---
+  // When qos.enabled, the testbed installs a per-node scheduler on every
+  // meta/data server and proxies run an AIMD concurrency window per meta
+  // server, honoring kOverloaded pushback (sleep retry-after, halve window).
+  qos::QosParams qos;
+  qos::AimdParams aimd;
 
   // MetaX KV store tuning (Fig. 11 sweeps these).
   kv::Options metax_kv;

@@ -26,6 +26,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), net_(loop_,
     b.machine = std::make_unique<sim::Machine>(loop_, manager_nodes_[i],
                                                "manager" + std::to_string(i), params);
     b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+    b.rpc->SetHandlerCosts(config_.handler_costs);
     b.rpc->Attach();
     b.manager = std::make_unique<cluster::Manager>(*b.rpc, b.machine->disk(), raft_config,
                                                    config_.manager, 0xa11ce + i);
@@ -44,6 +45,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), net_(loop_,
     b.machine = std::make_unique<sim::Machine>(loop_, kProxyBase + i,
                                                "proxy" + std::to_string(i), params);
     b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+    b.rpc->SetHandlerCosts(config_.handler_costs);
     b.rpc->Attach();
     b.proxy = std::make_unique<ClientProxy>(*b.rpc, config_.options, manager_nodes_,
                                             static_cast<uint32_t>(i + 1));
@@ -58,8 +60,16 @@ Testbed::MetaBundle Testbed::MakeMetaBundle(sim::NodeId id, int seed) {
   sim::MachineParams params;
   params.num_disks = 1;
   params.disk = config_.meta_disk;
+  if (config_.meta_cpu_cores > 0) {
+    params.cpu_cores = config_.meta_cpu_cores;
+  }
   b.machine = std::make_unique<sim::Machine>(loop_, id, "meta" + std::to_string(id), params);
   b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+  b.rpc->SetHandlerCosts(config_.handler_costs);
+  if (config_.options.qos.enabled) {
+    b.sched = std::make_unique<qos::Scheduler>(loop_, id, config_.options.qos);
+    b.rpc->SetScheduler(b.sched.get());
+  }
   b.rpc->Attach();
   b.server = std::make_unique<MetaServer>(*b.rpc, config_.options, manager_nodes_,
                                           0x5eed + seed);
@@ -76,6 +86,11 @@ Testbed::DataBundle Testbed::MakeDataBundle(sim::NodeId id, uint32_t disks) {
     b.machine->disk(d).set_store_volume_content(config_.store_volume_content);
   }
   b.rpc = std::make_unique<rpc::Node>(*b.machine, net_);
+  b.rpc->SetHandlerCosts(config_.handler_costs);
+  if (config_.options.qos.enabled) {
+    b.sched = std::make_unique<qos::Scheduler>(loop_, id, config_.options.qos);
+    b.rpc->SetScheduler(b.sched.get());
+  }
   b.rpc->Attach();
   b.server = std::make_unique<DataServer>(*b.rpc, config_.options, manager_nodes_);
   return b;
@@ -237,6 +252,11 @@ void Testbed::CrashMetaMachine(int i, bool power_loss) {
 void Testbed::RestartMetaMachine(int i) {
   auto& b = metas_.at(i);
   b.machine->Restart();
+  if (config_.options.qos.enabled) {
+    b.sched = std::make_unique<qos::Scheduler>(loop_, b.machine->node_id(),
+                                               config_.options.qos);
+    b.rpc->SetScheduler(b.sched.get());
+  }
   b.rpc->Attach();
   b.server = std::make_unique<MetaServer>(*b.rpc, config_.options, manager_nodes_,
                                           0xfeed + i);
@@ -256,6 +276,11 @@ void Testbed::CrashDataMachine(int i, bool power_loss) {
 void Testbed::RestartDataMachine(int i) {
   auto& b = datas_.at(i);
   b.machine->Restart();
+  if (config_.options.qos.enabled) {
+    b.sched = std::make_unique<qos::Scheduler>(loop_, b.machine->node_id(),
+                                               config_.options.qos);
+    b.rpc->SetScheduler(b.sched.get());
+  }
   b.rpc->Attach();
   b.server = std::make_unique<DataServer>(*b.rpc, config_.options, manager_nodes_);
   b.server->Start();

@@ -15,6 +15,7 @@
 #include "src/core/data_server.h"
 #include "src/core/meta_server.h"
 #include "src/core/options.h"
+#include "src/qos/scheduler.h"
 #include "src/rpc/node.h"
 
 namespace cheetah::core {
@@ -35,6 +36,13 @@ struct TestbedConfig {
   uint32_t block_size = 4096;
 
   CheetahOptions options;
+
+  // Overload-bench knobs: cap meta-server CPU cores (0 = MachineParams
+  // default) and set per-request handler CPU costs on every rpc node, so a
+  // benchmark can place the saturation point where it wants it.
+  int meta_cpu_cores = 0;
+  rpc::Node::HandlerCosts handler_costs;
+
   sim::NetParams net;
   sim::DiskParams data_disk;
   sim::DiskParams meta_disk;
@@ -74,6 +82,11 @@ class Testbed {
   sim::Machine& proxy_machine(int i) { return *proxies_.at(i).machine; }
   sim::Machine& manager_machine(int i) { return *managers_.at(i).machine; }
   rpc::Node& proxy_rpc(int i) { return *proxies_.at(i).rpc; }  // protocol tests
+  rpc::Node& meta_rpc(int i) { return *metas_.at(i).rpc; }
+
+  // Null when options.qos.enabled is false.
+  qos::Scheduler* meta_scheduler(int i) { return metas_.at(i).sched.get(); }
+  qos::Scheduler* data_scheduler(int i) { return datas_.at(i).sched.get(); }
 
   // Node ids, for schedule/partition composition by role + index.
   sim::NodeId meta_node(int i) const { return metas_.at(i).machine->node_id(); }
@@ -132,13 +145,17 @@ class Testbed {
     std::unique_ptr<rpc::Node> rpc;
     std::unique_ptr<cluster::Manager> manager;
   };
+  // `sched` is declared before `rpc`: ~Node calls Scheduler::Reset(), so the
+  // scheduler must be destroyed after the node.
   struct MetaBundle {
     std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<qos::Scheduler> sched;
     std::unique_ptr<rpc::Node> rpc;
     std::unique_ptr<MetaServer> server;
   };
   struct DataBundle {
     std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<qos::Scheduler> sched;
     std::unique_ptr<rpc::Node> rpc;
     std::unique_ptr<DataServer> server;
   };

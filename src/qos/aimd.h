@@ -1,0 +1,105 @@
+// Proxy-side adaptive concurrency: one AIMD window per remote meta server.
+//
+// The window bounds how many RPCs a proxy keeps in flight toward one node.
+// Successes grow it additively (+1/window per completion, i.e. +1 per RTT of
+// full utilization); an explicit kOverloaded pushback or a timeout halves it.
+// Combined with the server-side scheduler this closes the control loop: the
+// server sheds with retry-after, proxies shrink their windows, queue sojourn
+// falls back under the CoDel target, and windows grow again.
+#ifndef SRC_QOS_AIMD_H_
+#define SRC_QOS_AIMD_H_
+
+#include <algorithm>
+#include <cassert>
+#include <coroutine>
+#include <deque>
+
+#include "src/qos/qos.h"
+#include "src/sim/actor.h"
+
+namespace cheetah::qos {
+
+class AimdWindow {
+ public:
+  explicit AimdWindow(const AimdParams& params)
+      : params_(params), window_(params.initial_window) {}
+
+  enum class Signal {
+    kSuccess,   // additive increase
+    kPushback,  // kOverloaded or timeout: multiplicative decrease
+    kNeutral,   // application-level error; don't steer the window
+  };
+
+  double window() const { return window_; }
+  int in_flight() const { return in_flight_; }
+  int limit() const { return std::max(1, static_cast<int>(window_)); }
+
+  struct AcquireAwaiter {
+    AimdWindow& win;
+    sim::Actor* actor = nullptr;
+
+    void SetActor(sim::Actor* a) { actor = a; }
+    bool await_ready() noexcept {
+      if (win.in_flight_ < win.limit()) {
+        ++win.in_flight_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(actor && "AimdWindow::Acquire outside an actor coroutine");
+      win.waiters_.push_back({actor, actor->epoch(), h, obs::ThisContext()});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // `co_await window.Acquire()` — suspends until an in-flight slot frees up.
+  AcquireAwaiter Acquire() { return AcquireAwaiter{*this}; }
+
+  void Release(Signal signal) {
+    switch (signal) {
+      case Signal::kSuccess:
+        window_ = std::min(params_.max_window, window_ + 1.0 / window_);
+        break;
+      case Signal::kPushback:
+        window_ = std::max(params_.min_window, window_ * params_.backoff);
+        break;
+      case Signal::kNeutral:
+        break;
+    }
+    assert(in_flight_ > 0);
+    --in_flight_;
+    GrantWaiters();
+  }
+
+ private:
+  void GrantWaiters() {
+    while (!waiters_.empty() && in_flight_ < limit()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      if (!w.actor->AliveAt(w.epoch)) {
+        continue;  // killed while queued; its slot stays free
+      }
+      // Count the slot at grant time so a backoff between grant and resume
+      // can't over-admit.
+      ++in_flight_;
+      w.actor->ResumeSoon(w.handle, w.epoch, w.ctx);
+    }
+  }
+
+  struct Waiter {
+    sim::Actor* actor;
+    uint64_t epoch;
+    std::coroutine_handle<> handle;
+    obs::OpContext ctx;
+  };
+
+  AimdParams params_;
+  double window_;
+  int in_flight_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace cheetah::qos
+
+#endif  // SRC_QOS_AIMD_H_

@@ -1,0 +1,70 @@
+// CoDel-style overload detector over handler queue sojourn times.
+//
+// Classic CoDel decides per-packet drops; here we only need a binary-ish
+// verdict — "is this node persistently congested, and how badly?" — that the
+// scheduler maps to a shed level. The node is overloaded once every observed
+// sojourn stays above `target` for a full `interval` (a single slow dispatch
+// doesn't trip it), and the level escalates by one per further interval spent
+// overloaded. Any sojourn back under target resets everything.
+//
+// Clock-free like the token bucket: callers pass the event-loop time, so the
+// detector is a pure function of the dispatch sequence and replays exactly.
+#ifndef SRC_QOS_CODEL_H_
+#define SRC_QOS_CODEL_H_
+
+#include "src/common/units.h"
+#include "src/qos/qos.h"
+
+namespace cheetah::qos {
+
+class CodelDetector {
+ public:
+  CodelDetector(Nanos target, Nanos interval)
+      : target_(target), interval_(interval) {}
+
+  void Record(Nanos sojourn, Nanos now) {
+    if (sojourn <= target_) {
+      above_ = false;
+      overloaded_ = false;
+      return;
+    }
+    if (!above_) {
+      above_ = true;
+      above_since_ = now;
+    }
+    if (!overloaded_ && now - above_since_ >= interval_) {
+      overloaded_ = true;
+      tripped_at_ = now;
+    }
+  }
+
+  // The scheduler drains to empty from time to time; a detector that last saw
+  // a sample long ago shouldn't still claim overload.
+  void NoteIdle() {
+    above_ = false;
+    overloaded_ = false;
+  }
+
+  bool overloaded() const { return overloaded_; }
+
+  // 0 = healthy; level L asks the scheduler to reject classes with ordinal
+  // >= kNumClasses - L (caller clamps against QosParams::max_shed_level).
+  int shed_level(Nanos now) const {
+    if (!overloaded_) {
+      return 0;
+    }
+    return 1 + static_cast<int>((now - tripped_at_) / interval_);
+  }
+
+ private:
+  Nanos target_;
+  Nanos interval_;
+  bool above_ = false;
+  bool overloaded_ = false;
+  Nanos above_since_ = 0;
+  Nanos tripped_at_ = 0;
+};
+
+}  // namespace cheetah::qos
+
+#endif  // SRC_QOS_CODEL_H_

@@ -1,0 +1,46 @@
+#include "src/qos/qos.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cheetah::qos {
+
+const char* TrafficClassName(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kControl:
+      return "control";
+    case TrafficClass::kForeground:
+      return "foreground";
+    case TrafficClass::kReplication:
+      return "replication";
+    case TrafficClass::kBackground:
+      return "background";
+    case TrafficClass::kMaintenance:
+      return "maintenance";
+  }
+  return "unknown";
+}
+
+namespace {
+constexpr char kRetryAfterKey[] = "retry_after_ns=";
+}  // namespace
+
+Status OverloadedStatus(Nanos retry_after) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld", kRetryAfterKey,
+                static_cast<long long>(retry_after));
+  return Status::Overloaded(buf);
+}
+
+Nanos RetryAfterOf(const Status& status, Nanos fallback) {
+  const std::string& m = status.message();
+  const size_t pos = m.find(kRetryAfterKey);
+  if (pos == std::string::npos) {
+    return fallback;
+  }
+  const long long v = std::atoll(m.c_str() + pos + std::strlen(kRetryAfterKey));
+  return v > 0 ? static_cast<Nanos>(v) : fallback;
+}
+
+}  // namespace cheetah::qos

@@ -1,0 +1,97 @@
+// Overload control & QoS: shared vocabulary.
+//
+// Every server-side request belongs to a traffic class. The per-node
+// scheduler (scheduler.h) queues and dispatches data-plane requests in
+// weighted-fair order, rate-limits classes with token buckets, and — when a
+// CoDel-style sojourn detector says the node is overloaded — rejects the
+// lowest classes with an explicit retry-after hint that proxies honor via
+// AIMD concurrency windows (aimd.h). Everything is a pure function of the
+// event-loop clock and the arrival order, so chaos/benchmark runs replay
+// byte-for-byte from their seeds.
+#ifndef SRC_QOS_QOS_H_
+#define SRC_QOS_QOS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace cheetah::qos {
+
+// Priority order: lower ordinal = more latency-sensitive = shed last.
+// kControl (topology pushes, heartbeats, raft) bypasses the scheduler
+// entirely: starving the control plane turns an overload into an outage.
+enum class TrafficClass : uint8_t {
+  kControl = 0,     // cluster manager / raft / heartbeats — never queued
+  kForeground = 1,  // client puts/gets/deletes and their data I/O
+  kReplication = 2, // MetaX replication between meta servers
+  kBackground = 3,  // PG pulls, RE-META re-pulls, volume recovery
+  kMaintenance = 4, // discards, probes, compaction-adjacent traffic
+};
+
+inline constexpr int kNumClasses = 5;
+
+const char* TrafficClassName(TrafficClass cls);
+
+// Tuning for one node's scheduler. Defaults are deliberately permissive:
+// foreground/replication are never rate-limited, and the shed escalation
+// stops at kBackground, so enabling QoS on a healthy cluster is a no-op
+// apart from dispatch order.
+struct QosParams {
+  QosParams() = default;
+
+  bool enabled = false;
+
+  // Handlers dispatched concurrently per node. Queued-but-undispatched work
+  // is what the WFQ reorders; once dispatched, a handler contends on the
+  // machine's CPU/disk resources like any other coroutine.
+  int max_concurrency = 16;
+
+  // WFQ weights by class ordinal (kControl slot unused).
+  std::array<double, kNumClasses> weights{0.0, 8.0, 4.0, 2.0, 1.0};
+
+  // Token-bucket rate caps in cost units (KiB of wire bytes, min 1 per
+  // request) per second; 0 = unlimited. Burst = one interval's worth.
+  std::array<double, kNumClasses> rate_per_sec{0.0, 0.0, 0.0, 0.0, 0.0};
+  double burst_cost = 256.0;
+
+  // Per-class queue depth bounds; arrivals beyond the bound are rejected
+  // with retry-after (bounded queue => bounded sojourn => bounded p99).
+  std::array<uint32_t, kNumClasses> queue_limit{0, 4096, 4096, 1024, 256};
+
+  // CoDel-style overload detector over the sojourn of latency-sensitive
+  // (foreground/replication) dispatches: overloaded once sojourn stays
+  // above `codel_target` for `codel_interval`, escalating one shed level
+  // per additional interval.
+  Nanos codel_target = Millis(5);
+  Nanos codel_interval = Millis(100);
+
+  // Highest shed level the detector may escalate to. Level L rejects
+  // classes with ordinal >= kNumClasses - L: 1 sheds maintenance, 2 also
+  // background, 3 also replication, 4 everything. The default never sheds
+  // replication or foreground; only per-class queue overflow can push back
+  // on those, which is what keeps foreground loss impossible while lower
+  // classes still have work queued.
+  int max_shed_level = 2;
+};
+
+// Proxy-side AIMD tuning (see aimd.h).
+struct AimdParams {
+  AimdParams() = default;
+  double initial_window = 8.0;
+  double min_window = 1.0;
+  double max_window = 256.0;
+  double backoff = 0.5;  // multiplicative decrease on pushback
+};
+
+// The wire encoding of pushback: a kOverloaded status whose message carries
+// the server's retry-after hint. Kept as a string payload so the generic
+// Status type stays dependency-free.
+Status OverloadedStatus(Nanos retry_after);
+Nanos RetryAfterOf(const Status& status, Nanos fallback);
+
+}  // namespace cheetah::qos
+
+#endif  // SRC_QOS_QOS_H_

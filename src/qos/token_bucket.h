@@ -1,0 +1,70 @@
+// Deterministic token bucket in virtual time. Clock-free: every method takes
+// `now` explicitly, so units can be tested without an event loop and the
+// scheduler never reads a clock the simulator doesn't control.
+#ifndef SRC_QOS_TOKEN_BUCKET_H_
+#define SRC_QOS_TOKEN_BUCKET_H_
+
+#include <algorithm>
+
+#include "src/common/units.h"
+
+namespace cheetah::qos {
+
+class TokenBucket {
+ public:
+  // rate_per_sec <= 0 means unlimited (TryTake always succeeds).
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  bool unlimited() const { return rate_ <= 0.0; }
+  double tokens(Nanos now) {
+    Refill(now);
+    return tokens_;
+  }
+
+  // Takes `cost` tokens if available after refilling to `now`.
+  bool TryTake(double cost, Nanos now) {
+    if (unlimited()) {
+      return true;
+    }
+    Refill(now);
+    if (tokens_ >= cost) {
+      tokens_ -= cost;
+      return true;
+    }
+    return false;
+  }
+
+  // Earliest virtual time at which `cost` tokens will exist (== `now` when
+  // they already do). Does not take them.
+  Nanos NextAvailable(double cost, Nanos now) {
+    if (unlimited()) {
+      return now;
+    }
+    Refill(now);
+    if (tokens_ >= cost) {
+      return now;
+    }
+    const double deficit = std::min(cost, burst_) - tokens_;
+    return now + static_cast<Nanos>(deficit / rate_ * 1e9) + 1;
+  }
+
+ private:
+  void Refill(Nanos now) {
+    if (now > last_) {
+      tokens_ = std::min(
+          burst_, tokens_ + rate_ * static_cast<double>(now - last_) / 1e9);
+      last_ = now;
+    }
+  }
+
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  Nanos last_ = 0;
+};
+
+}  // namespace cheetah::qos
+
+#endif  // SRC_QOS_TOKEN_BUCKET_H_

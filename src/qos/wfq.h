@@ -1,0 +1,90 @@
+// Start-time fair queueing over traffic classes.
+//
+// Each item gets a start tag max(V, last_finish[class]) and a finish tag
+// start + cost/weight; items dequeue in start-tag order (sequence number
+// breaks ties, so the order is total and deterministic) and V advances to
+// the dequeued item's start tag. Classes share capacity in proportion to
+// their weights when backlogged, and an idle class's tags catch up to V on
+// its next arrival instead of letting it bank credit — the standard SFQ
+// construction, which is starvation-free: a backlogged class's start tags
+// grow at rate cost/weight relative to V, so every queued item's tag is
+// eventually the minimum.
+#ifndef SRC_QOS_WFQ_H_
+#define SRC_QOS_WFQ_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "src/qos/qos.h"
+
+namespace cheetah::qos {
+
+template <typename T>
+class WeightedFairQueue {
+ public:
+  explicit WeightedFairQueue(std::array<double, kNumClasses> weights)
+      : weights_(weights) {}
+
+  void Push(TrafficClass cls, double cost, T payload) {
+    const int c = static_cast<int>(cls);
+    assert(c > 0 && c < kNumClasses && weights_[c] > 0.0);
+    const double start = last_finish_[c] > vtime_ ? last_finish_[c] : vtime_;
+    last_finish_[c] = start + cost / weights_[c];
+    items_.emplace(Key{start, next_seq_++}, Entry{cls, std::move(payload)});
+    ++depth_[c];
+  }
+
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  size_t depth(TrafficClass cls) const { return depth_[static_cast<int>(cls)]; }
+
+  T Pop(TrafficClass* cls_out = nullptr) {
+    assert(!items_.empty());
+    auto it = items_.begin();
+    vtime_ = it->first.start;
+    Entry entry = std::move(it->second);
+    items_.erase(it);
+    --depth_[static_cast<int>(entry.cls)];
+    if (cls_out != nullptr) {
+      *cls_out = entry.cls;
+    }
+    return std::move(entry.payload);
+  }
+
+  void Clear() {
+    items_.clear();
+    depth_ = {};
+    // Tags keep their values: V never runs backwards, so items queued after
+    // a Clear still order correctly against the virtual clock.
+  }
+
+ private:
+  struct Key {
+    double start;
+    uint64_t seq;
+    bool operator<(const Key& o) const {
+      if (start != o.start) {
+        return start < o.start;
+      }
+      return seq < o.seq;
+    }
+  };
+  struct Entry {
+    TrafficClass cls;
+    T payload;
+  };
+
+  std::array<double, kNumClasses> weights_;
+  std::array<double, kNumClasses> last_finish_{};
+  std::array<size_t, kNumClasses> depth_{};
+  double vtime_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::map<Key, Entry> items_;
+};
+
+}  // namespace cheetah::qos
+
+#endif  // SRC_QOS_WFQ_H_

@@ -29,6 +29,8 @@
 #include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/qos/qos.h"
+#include "src/qos/scheduler.h"
 #include "src/sim/machine.h"
 #include "src/sim/network.h"
 #include "src/sim/sync.h"
@@ -63,7 +65,7 @@ class Node {
 
   void Attach() {
     net_.Register(machine_.node_id(), [this](sim::NodeId src, std::any msg, size_t bytes) {
-      OnMessage(src, std::move(msg));
+      OnMessage(src, std::move(msg), bytes);
     });
     attached_ = true;
   }
@@ -74,16 +76,41 @@ class Node {
       attached_ = false;
     }
     pending_.clear();
+    if (scheduler_ != nullptr) {
+      // Queued-but-undispatched requests die with the process; in-flight
+      // handlers were killed with the actor and will never call done.
+      scheduler_->Reset();
+    }
   }
 
   bool attached() const { return attached_; }
 
+  // Installs a per-node QoS scheduler (owned by the caller, must outlive this
+  // node). Requests whose handler was registered with a non-control traffic
+  // class go through Submit() instead of dispatching immediately; rejected
+  // calls get a kOverloaded reply carrying the retry-after hint.
+  void SetScheduler(qos::Scheduler* scheduler) { scheduler_ = scheduler; }
+  qos::Scheduler* scheduler() { return scheduler_; }
+
+  // CPU service time charged on this machine per handled request: handlers
+  // aren't free even in simulation, or offered load could never exceed
+  // capacity and overload would be unobservable.
+  struct HandlerCosts {
+    HandlerCosts() = default;
+    Nanos base = Micros(2);
+    double per_byte_ns = 0.05;  // ~20 GB/s of deserialization/copy work
+  };
+  void SetHandlerCosts(HandlerCosts costs) { costs_ = costs; }
+
   template <RpcRequest Req>
-  void Serve(std::function<sim::Task<Result<typename Req::Response>>(sim::NodeId, Req)> fn) {
-    handlers_[std::type_index(typeid(Req))] = [this, fn = std::move(fn)](sim::NodeId src,
-                                                                         Envelope env) {
-      machine_.actor().Spawn(HandleOne<Req>(fn, src, std::move(env)));
-    };
+  void Serve(std::function<sim::Task<Result<typename Req::Response>>(sim::NodeId, Req)> fn,
+             qos::TrafficClass cls = qos::TrafficClass::kControl) {
+    handlers_[std::type_index(typeid(Req))] =
+        Handler{cls, [this, fn = std::move(fn)](sim::NodeId src, Envelope env, size_t bytes,
+                                                std::function<void()> done) {
+                  machine_.actor().Spawn(
+                      HandleOne<Req>(fn, src, std::move(env), bytes, std::move(done)));
+                }};
   }
 
   // NOTE: Call is deliberately a plain function that moves its argument into
@@ -193,7 +220,7 @@ class Node {
   template <RpcRequest Req>
   sim::Task<> HandleOne(
       std::function<sim::Task<Result<typename Req::Response>>(sim::NodeId, Req)> fn,
-      sim::NodeId src, Envelope env) {
+      sim::NodeId src, Envelope env, size_t req_bytes, std::function<void()> done) {
     static const std::string kName = obs::ShortTypeName(typeid(Req));
     static obs::Histogram* const handle_lat =
         obs::Registry::Global().histogram("rpc." + kName + ".handle_latency");
@@ -208,11 +235,17 @@ class Node {
     // Run the handler inside the caller's operation so its disk/kv/nested-rpc
     // spans chain under this handler span.
     obs::SetContext(obs::OpContext{env.ctx.op, span != 0 ? span : env.ctx.span});
+    // Deserialization + request processing occupy a CPU core.
+    co_await machine_.cpu().Use(
+        costs_.base + static_cast<Nanos>(static_cast<double>(req_bytes) * costs_.per_byte_ns));
     Result<typename Req::Response> result = co_await fn(src, std::move(req));
     const Nanos t1 = machine_.loop().Now();
     handle_lat->Record(t1 - t0);
     tracer.End(span, t1, result.ok());
     if (fire_and_forget) {
+      if (done) {
+        done();
+      }
       co_return;
     }
     Envelope reply{env.call_id, /*is_reply=*/true, std::type_index(typeid(void)),
@@ -223,10 +256,16 @@ class Node {
       bytes += result.value().wire_size();
       reply.payload = std::move(result).value();
     }
+    // Reply serialization is CPU work too (matters for large GET replies).
+    co_await machine_.cpu().Use(
+        static_cast<Nanos>(static_cast<double>(bytes) * costs_.per_byte_ns));
     net_.Send(id(), src, std::move(reply), bytes);
+    if (done) {
+      done();
+    }
   }
 
-  void OnMessage(sim::NodeId src, std::any msg) {
+  void OnMessage(sim::NodeId src, std::any msg, size_t wire_bytes) {
     Envelope env = std::any_cast<Envelope>(std::move(msg));
     if (env.is_reply) {
       auto it = pending_.find(env.call_id);
@@ -254,7 +293,46 @@ class Node {
     if (hit == handlers_.end()) {
       return;  // no such service here; drop (caller times out)
     }
-    hit->second(src, std::move(env));
+    Handler& handler = hit->second;
+    if (scheduler_ == nullptr || handler.cls == qos::TrafficClass::kControl) {
+      handler.dispatch(src, std::move(env), wire_bytes, nullptr);
+      return;
+    }
+    // Data-plane request under QoS: queue it (span makes the wait visible in
+    // traces) or bounce it with a retry-after hint.
+    auto& tracer = obs::Tracer::Global();
+    const uint64_t qspan =
+        tracer.enabled()
+            ? tracer.BeginWith(env.ctx, obs::SpanKind::kQueue,
+                               std::string("qos.queue.") + qos::TrafficClassName(handler.cls),
+                               id(), machine_.loop().Now(), wire_bytes)
+            : 0;
+    const bool fire_and_forget = env.fire_and_forget;
+    const uint64_t call_id = env.call_id;
+    const obs::OpContext ctx = env.ctx;
+    auto env_ptr = std::make_shared<Envelope>(std::move(env));
+    qos::Scheduler::RejectFn reject;
+    if (fire_and_forget) {
+      // Nobody to tell; the notification just evaporates under overload.
+      reject = [this, qspan](Nanos) {
+        obs::Tracer::Global().End(qspan, machine_.loop().Now(), /*ok=*/false);
+      };
+    } else {
+      reject = [this, src, call_id, ctx, qspan](Nanos retry_after) {
+        obs::Tracer::Global().End(qspan, machine_.loop().Now(), /*ok=*/false);
+        Envelope bounce{call_id, /*is_reply=*/true, std::type_index(typeid(void)),
+                        qos::OverloadedStatus(retry_after), std::any{}};
+        bounce.ctx = ctx;
+        net_.Send(id(), src, std::move(bounce), kHeaderBytes);
+      };
+    }
+    scheduler_->Submit(
+        handler.cls, wire_bytes,
+        [this, hp = &handler, src, env_ptr, wire_bytes, qspan](std::function<void()> done) {
+          obs::Tracer::Global().End(qspan, machine_.loop().Now(), /*ok=*/true);
+          hp->dispatch(src, std::move(*env_ptr), wire_bytes, std::move(done));
+        },
+        std::move(reject));
   }
 
   bool IsDuplicateRequest(sim::NodeId src, uint64_t call_id) {
@@ -277,6 +355,11 @@ class Node {
     std::set<uint64_t> ids;    // recent ids above the floor
   };
 
+  struct Handler {
+    qos::TrafficClass cls = qos::TrafficClass::kControl;
+    std::function<void(sim::NodeId, Envelope, size_t, std::function<void()>)> dispatch;
+  };
+
   sim::Machine& machine_;
   sim::Network& net_;
   obs::Counter* late_replies_;
@@ -284,7 +367,9 @@ class Node {
       obs::Registry::Global().counter("rpc.duplicate_requests_dropped");
   bool attached_ = false;
   uint64_t next_call_id_ = 1;
-  std::unordered_map<std::type_index, std::function<void(sim::NodeId, Envelope)>> handlers_;
+  qos::Scheduler* scheduler_ = nullptr;
+  HandlerCosts costs_;
+  std::unordered_map<std::type_index, Handler> handlers_;
   std::unordered_map<sim::NodeId, Seen> seen_requests_;
   std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_;
 };

@@ -13,6 +13,7 @@ void Network::Register(NodeId id, Handler handler) {
   ep.handler = std::move(handler);
   if (!ep.nic) {
     ep.nic = std::make_unique<Resource>(loop_, params_.nic_lanes);
+    ep.rx = std::make_unique<Resource>(loop_, params_.nic_lanes);
   }
 }
 
@@ -62,6 +63,14 @@ void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
         static_cast<Nanos>(static_cast<double>(bytes) / params_.bw_bytes_per_sec * 1e9);
     const Nanos departed = sit->second.nic->Reserve(tx_nanos);
     arrive = departed + params_.base_latency;
+    // Receive-side occupancy: the message's bytes also serialize into the
+    // receiver, starting no earlier than first-byte arrival. Uncontended
+    // this reproduces departed + base_latency exactly; contended receptions
+    // queue behind each other.
+    auto dit = endpoints_.find(dst);
+    if (dit != endpoints_.end() && dit->second.rx) {
+      arrive = dit->second.rx->ReserveFrom(arrive - tx_nanos, tx_nanos);
+    }
   }
   // The wire span and the delivery both belong to the sender's operation; the
   // receiving handler runs under the sender's context so spans it opens

@@ -1,10 +1,16 @@
 // Simulated datacenter network.
 //
-// Each registered node has a NIC modeled as a k-lane transmit resource; a
-// message serializes on the sender's NIC, propagates for the base one-way
-// latency, then is handed to the receiver's handler (which typically spawns a
-// coroutine on the receiver's actor). Messages to dead or partitioned nodes
-// are silently dropped — callers recover via RPC timeouts, exactly as the
+// Each registered node has a full-duplex NIC modeled as a pair of k-lane
+// resources: a message serializes on the sender's transmit lanes, propagates
+// for the base one-way latency, then occupies the receiver's receive lanes
+// for its own serialization time before it is handed to the receiver's
+// handler (which typically spawns a coroutine on the receiver's actor). The
+// receive-side occupancy is what makes concurrent bulk transfers into one
+// node contend: two simultaneous large sends from different sources take ~2x
+// the wall-clock of one, instead of overlapping for free. An uncontended
+// message arrives at exactly departed + base_latency, same as before the
+// receive side was modeled. Messages to dead or partitioned nodes are
+// silently dropped — callers recover via RPC timeouts, exactly as the
 // paper's servers do.
 #ifndef SRC_SIM_NETWORK_H_
 #define SRC_SIM_NETWORK_H_
@@ -100,7 +106,8 @@ class Network {
  private:
   struct Endpoint {
     Handler handler;
-    std::unique_ptr<Resource> nic;
+    std::unique_ptr<Resource> nic;  // transmit lanes
+    std::unique_ptr<Resource> rx;   // receive lanes (full duplex)
   };
 
   static std::pair<NodeId, NodeId> Norm(NodeId a, NodeId b) {

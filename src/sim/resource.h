@@ -26,8 +26,15 @@ class Resource {
 
   // Reserves the earliest-free server and returns the completion instant.
   Nanos Reserve(Nanos service) {
+    return ReserveFrom(loop_.Now(), service);
+  }
+
+  // Same, but the reservation may not start before `earliest` (which may be
+  // in the future — used for receive-side occupancy, where the work can only
+  // begin once the first byte has propagated).
+  Nanos ReserveFrom(Nanos earliest, Nanos service) {
     auto it = std::min_element(free_at_.begin(), free_at_.end());
-    const Nanos start = std::max(loop_.Now(), *it);
+    const Nanos start = std::max(earliest, *it);
     const Nanos done = start + service;
     *it = done;
     return done;

@@ -1,5 +1,8 @@
 #include "src/workload/runner.h"
 
+#include <algorithm>
+#include <cassert>
+
 #include "src/common/logging.h"
 
 namespace cheetah::workload {
@@ -8,12 +11,77 @@ struct Runner::Shared {
   RunnerResults results;
   uint64_t issued = 0;
   int live_workers = 0;
+  int in_flight = 0;  // open-loop ops spawned but not yet completed
   Nanos start = 0;
   Nanos deadline = 0;
   uint64_t total_ops = 0;
   std::function<Op(Rng&)> next_op;
   std::function<void(const std::string&)> on_put_success;
 };
+
+namespace {
+
+// Executes one operation and records its latency against `intended` — the
+// scheduled arrival in open loop, the actual issue instant in closed loop.
+sim::Task<> ExecuteOp(ObjectStore* store, std::shared_ptr<Runner::Shared> shared, Op op,
+                      Nanos intended) {
+  sim::Actor* actor = co_await sim::CurrentActor{};
+  const Nanos issued = actor->Now();
+  RunnerResults& results = shared->results;
+  switch (op.type) {
+    case OpType::kPut: {
+      Status s = co_await store->Put(op.name, std::string(op.size, 'd'));
+      const Nanos now = actor->Now();
+      if (s.ok()) {
+        results.put.Record(now - intended);
+        results.all.Record(now - intended);
+        results.service.Record(now - issued);
+        if (shared->on_put_success) {
+          shared->on_put_success(op.name);
+        }
+      } else {
+        ++results.errors;
+      }
+      break;
+    }
+    case OpType::kGet: {
+      auto r = co_await store->Get(op.name);
+      const Nanos now = actor->Now();
+      if (r.ok()) {
+        results.get.Record(now - intended);
+        results.all.Record(now - intended);
+        results.service.Record(now - issued);
+      } else if (r.status().IsNotFound()) {
+        ++results.not_found;
+      } else {
+        ++results.errors;
+      }
+      break;
+    }
+    case OpType::kDelete: {
+      Status s = co_await store->Delete(op.name);
+      const Nanos now = actor->Now();
+      if (s.ok()) {
+        results.del.Record(now - intended);
+        results.all.Record(now - intended);
+        results.service.Record(now - issued);
+      } else if (s.IsNotFound()) {
+        ++results.not_found;
+      } else {
+        ++results.errors;
+      }
+      break;
+    }
+  }
+}
+
+sim::Task<> OpenLoopOp(ObjectStore* store, std::shared_ptr<Runner::Shared> shared, Op op,
+                       Nanos intended) {
+  co_await ExecuteOp(store, shared, std::move(op), intended);
+  --shared->in_flight;
+}
+
+}  // namespace
 
 RunnerResults Runner::Run(std::function<Op(Rng&)> next_op,
                           std::function<void(const std::string&)> on_put_success) {
@@ -23,76 +91,70 @@ RunnerResults Runner::Run(std::function<Op(Rng&)> next_op,
   shared->start = loop_.Now();
   shared->total_ops = config_.total_ops;
   shared->deadline = config_.duration > 0 ? loop_.Now() + config_.duration : 0;
-  shared->live_workers = config_.concurrency;
 
-  auto worker = [](ObjectStore* store, std::shared_ptr<Shared> shared,
-                   uint64_t seed) -> sim::Task<> {
-    Rng rng(seed);
-    sim::Actor* actor = co_await sim::CurrentActor{};
-    for (;;) {
-      if (shared->total_ops > 0 && shared->issued >= shared->total_ops) {
-        break;
-      }
-      if (shared->deadline > 0 && actor->Now() >= shared->deadline) {
-        break;
-      }
-      ++shared->issued;
-      Op op = shared->next_op(rng);
-      const Nanos t0 = actor->Now();
-      switch (op.type) {
-        case OpType::kPut: {
-          Status s = co_await store->Put(op.name, std::string(op.size, 'd'));
-          const Nanos dt = actor->Now() - t0;
-          if (s.ok()) {
-            shared->results.put.Record(dt);
-            shared->results.all.Record(dt);
-            if (shared->on_put_success) {
-              shared->on_put_success(op.name);
-            }
-          } else {
-            ++shared->results.errors;
-          }
+  if (config_.arrival == ArrivalMode::kOpen) {
+    assert(config_.offered_ops_per_sec > 0.0 &&
+           "open-loop mode needs an offered rate");
+    shared->live_workers = 1;  // the dispatcher
+    auto dispatcher = [](std::vector<std::pair<sim::Actor*, ObjectStore*>> clients,
+                         std::shared_ptr<Shared> shared, RunnerConfig config) -> sim::Task<> {
+      // The arrival schedule has its own stream, disjoint from the per-op
+      // generator draws, so the same seed yields the same schedule whatever
+      // the op mix does.
+      Rng arrivals(config.seed * 7919 + 13);
+      Rng ops(config.seed * 1000003);
+      const double mean_gap = 1e9 / config.offered_ops_per_sec;
+      Nanos next = (co_await sim::CurrentActor{})->Now();
+      size_t rr = 0;
+      for (;;) {
+        if (config.total_ops > 0 && shared->issued >= config.total_ops) {
           break;
         }
-        case OpType::kGet: {
-          auto r = co_await store->Get(op.name);
-          const Nanos dt = actor->Now() - t0;
-          if (r.ok()) {
-            shared->results.get.Record(dt);
-            shared->results.all.Record(dt);
-          } else if (r.status().IsNotFound()) {
-            ++shared->results.not_found;
-          } else {
-            ++shared->results.errors;
-          }
+        if (shared->deadline > 0 && next >= shared->deadline) {
           break;
         }
-        case OpType::kDelete: {
-          Status s = co_await store->Delete(op.name);
-          const Nanos dt = actor->Now() - t0;
-          if (s.ok()) {
-            shared->results.del.Record(dt);
-            shared->results.all.Record(dt);
-          } else if (s.IsNotFound()) {
-            ++shared->results.not_found;
-          } else {
-            ++shared->results.errors;
-          }
-          break;
-        }
+        co_await sim::SleepUntil(next);
+        ++shared->issued;
+        Op op = shared->next_op(ops);
+        auto& [actor, store] = clients[rr++ % clients.size()];
+        ++shared->in_flight;
+        // `next` (the scheduled arrival), not Now(): if dispatch ever lags,
+        // the backlog must be charged to latency, not silently absorbed.
+        actor->Spawn(OpenLoopOp(store, shared, std::move(op), next));
+        next += std::max<Nanos>(1, static_cast<Nanos>(arrivals.Exponential(mean_gap)));
       }
+      --shared->live_workers;
+    };
+    clients_[0].first->Spawn(dispatcher(clients_, shared, config_));
+  } else {
+    shared->live_workers = config_.concurrency;
+    auto worker = [](ObjectStore* store, std::shared_ptr<Shared> shared,
+                     uint64_t seed) -> sim::Task<> {
+      Rng rng(seed);
+      sim::Actor* actor = co_await sim::CurrentActor{};
+      for (;;) {
+        if (shared->total_ops > 0 && shared->issued >= shared->total_ops) {
+          break;
+        }
+        if (shared->deadline > 0 && actor->Now() >= shared->deadline) {
+          break;
+        }
+        ++shared->issued;
+        Op op = shared->next_op(rng);
+        co_await ExecuteOp(store, shared, std::move(op), actor->Now());
+      }
+      --shared->live_workers;
+    };
+    for (int w = 0; w < config_.concurrency; ++w) {
+      auto& [actor, store] = clients_[w % clients_.size()];
+      actor->Spawn(worker(store, shared, config_.seed * 1000003 + w));
     }
-    --shared->live_workers;
-  };
-
-  for (int w = 0; w < config_.concurrency; ++w) {
-    auto& [actor, store] = clients_[w % clients_.size()];
-    actor->Spawn(worker(store, shared, config_.seed * 1000003 + w));
   }
-  while (shared->live_workers > 0) {
+
+  while (shared->live_workers > 0 || shared->in_flight > 0) {
     if (!loop_.RunOne()) {
       LOG_WARN << "runner: event loop drained with " << shared->live_workers
-               << " workers still live";
+               << " workers and " << shared->in_flight << " ops still live";
       break;
     }
   }

@@ -1,7 +1,18 @@
-// Closed-loop load generator in the style of Intel COSBench (§6.1): N
-// concurrent workers per run, each issuing the next operation as soon as the
-// previous completes. Latency is request completion time at the client;
-// throughput is completed ops over the measured virtual interval.
+// Load generator with two arrival modes.
+//
+// Closed loop (COSBench style, §6.1): N concurrent workers, each issuing the
+// next operation as soon as the previous completes. Offered load is an
+// *output* — it collapses to whatever the system can serve, which hides
+// overload entirely (and closed-loop latency suffers coordinated omission:
+// a stalled worker stops sampling exactly when the system is slow).
+//
+// Open loop: operations arrive on a seeded Poisson schedule at a configured
+// rate, regardless of how the system is doing — offered load is an *input*.
+// Latency is measured from each operation's *intended* (scheduled) start, so
+// backlog shows up as latency instead of silently thinning the sample
+// stream; RunnerResults::service additionally records completion minus
+// actual issue time for comparison (the gap between the two distributions is
+// the coordinated-omission error a closed-loop bench would have made).
 #ifndef SRC_WORKLOAD_RUNNER_H_
 #define SRC_WORKLOAD_RUNNER_H_
 
@@ -19,19 +30,30 @@
 
 namespace cheetah::workload {
 
+enum class ArrivalMode {
+  kClosed,  // `concurrency` workers, issue-on-completion
+  kOpen,    // Poisson arrivals at `offered_ops_per_sec`, unbounded outstanding
+};
+
 struct RunnerConfig {
   RunnerConfig() = default;
-  int concurrency = 20;
+  int concurrency = 20;       // closed-loop worker count (ignored in open loop)
   uint64_t total_ops = 1000;  // 0 = run until `duration` elapses
   Nanos duration = 0;
   uint64_t seed = 1;
+  ArrivalMode arrival = ArrivalMode::kClosed;
+  double offered_ops_per_sec = 0.0;  // required > 0 in open-loop mode
 };
 
 struct RunnerResults {
+  // In open-loop mode these measure from the intended (scheduled) start.
   LatencyRecorder put;
   LatencyRecorder get;
   LatencyRecorder del;
   LatencyRecorder all;
+  // Completion minus actual issue time. Identical to `all` in closed loop;
+  // in open loop the difference to `all` is the coordinated-omission error.
+  LatencyRecorder service;
   Throughput throughput;
   uint64_t errors = 0;
   uint64_t not_found = 0;  // gets/deletes that raced a concurrent delete
@@ -52,9 +74,11 @@ class Runner {
   RunnerResults Run(std::function<Op(Rng&)> next_op,
                     std::function<void(const std::string&)> on_put_success = nullptr);
 
- private:
+  // Implementation detail, public so runner.cc's free helper coroutines can
+  // name it (it is forward-declared only; not part of the API).
   struct Shared;
 
+ private:
   sim::EventLoop& loop_;
   std::vector<std::pair<sim::Actor*, ObjectStore*>> clients_;
   RunnerConfig config_;

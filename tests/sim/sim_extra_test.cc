@@ -138,6 +138,47 @@ TEST(ResourceExtraTest, BurstThenIdleDrains) {
   EXPECT_EQ(loop.Now(), Millis(5));  // 10 jobs / 2 servers x 1ms
 }
 
+TEST(NetworkExtraTest, UncontendedArrivalIsUnchangedByReceiveModel) {
+  // A lone message must arrive at exactly departed + base_latency — the
+  // receive-side occupancy is invisible unless receptions overlap.
+  EventLoop loop;
+  NetParams params;
+  Network net(loop, params);
+  Nanos arrived = 0;
+  net.Register(1, [](NodeId, std::any, size_t) {});
+  net.Register(2, [&](NodeId, std::any, size_t) { arrived = loop.Now(); });
+  const size_t bytes = 31 << 20;  // 31MB at 3.1GB/s = 10ms serialization
+  const Nanos tx =
+      static_cast<Nanos>(static_cast<double>(bytes) / params.bw_bytes_per_sec * 1e9);
+  net.Send(1, 2, 0, bytes);
+  loop.Run();
+  EXPECT_EQ(arrived, tx + params.base_latency);
+}
+
+TEST(NetworkExtraTest, ConcurrentBulkReceivesContendForBandwidth) {
+  // Two simultaneous bulk sends from different sources into one receiver
+  // must take ~2x the wall-clock of one: the receiver's NIC is not free.
+  EventLoop loop;
+  NetParams params;
+  Network net(loop, params);
+  std::vector<Nanos> arrived;
+  net.Register(1, [](NodeId, std::any, size_t) {});
+  net.Register(2, [](NodeId, std::any, size_t) {});
+  net.Register(3, [&](NodeId, std::any, size_t) { arrived.push_back(loop.Now()); });
+  const size_t bytes = 31 << 20;  // 10ms of wire each
+  const Nanos tx =
+      static_cast<Nanos>(static_cast<double>(bytes) / params.bw_bytes_per_sec * 1e9);
+  net.Send(1, 3, 0, bytes);
+  net.Send(2, 3, 0, bytes);
+  loop.Run();
+  ASSERT_EQ(arrived.size(), 2u);
+  // Senders have independent transmit NICs, so both would land at
+  // tx + base_latency if reception were free; instead the second queues
+  // behind the first for a full serialization time.
+  EXPECT_EQ(arrived[0], tx + params.base_latency);
+  EXPECT_EQ(arrived[1], 2 * tx + params.base_latency);
+}
+
 TEST(ActorExtraTest, KillSoonFromInsideOwnCoroutine) {
   EventLoop loop;
   Actor actor(loop);
