@@ -26,3 +26,11 @@ ctest --preset "$preset" -L qos -j "$(nproc)"
 builddir=build
 [[ "$preset" == "sanitize" ]] && builddir=build-sanitize
 CHEETAH_FIG21_SMOKE=1 "$builddir/bench/fig21_overload"
+
+# Integrity tier: the bit-rot/LSE/gray-corruption sweep (ctest label
+# `integrity`, pinned seeds) proving zero corrupt bytes reach clients and all
+# at-rest damage is repaired, then the scrub-overhead bench at reduced scale —
+# it asserts foreground GET p99 with scrubbing stays within 2x of scrub-off
+# and that an injected bit-rot burst is fully repaired before its audit pass.
+CHEETAH_INTEGRITY_SEEDS=1,2 ctest --preset "$preset" -L integrity -j "$(nproc)"
+CHEETAH_SCRUB_SMOKE=1 "$builddir/bench/scrub_overhead"

@@ -124,6 +124,53 @@ NemesisSchedule NetChaos(uint64_t seed, Nanos span) {
   return s;
 }
 
+NemesisSchedule BitRot(uint64_t seed, int data_count, Nanos span) {
+  Rng rng(seed ^ 0xb17207ull);
+  NemesisSchedule s;
+  // Waves of at-rest damage spread over the middle of the run, each hitting
+  // one machine's disks. The last wave lands by 3/4 span so the scrubber has
+  // the rest of the window to find and repair everything before the audit.
+  const int waves = 2 + static_cast<int>(rng.Uniform(3));
+  for (int w = 0; w < waves; ++w) {
+    const int victim = static_cast<int>(rng.Uniform(static_cast<uint64_t>(data_count)));
+    const double rot_prob = 0.05 + 0.05 * static_cast<double>(rng.Uniform(4));
+    const double lse_prob = 0.02 + 0.02 * static_cast<double>(rng.Uniform(3));
+    const uint64_t wave_seed = rng.Next();
+    const Nanos hit = span / 6 + (w * span) / (2 * waves) + rng.Uniform(span / 12);
+    std::ostringstream d;
+    d << "bit-rot data[" << victim << "] rot=" << rot_prob << " lse=" << lse_prob
+      << " wave_seed=" << wave_seed;
+    s.Add(hit, d.str(), [victim, rot_prob, lse_prob, wave_seed](core::Testbed& bed) {
+      sim::Machine& m = bed.data_machine(victim);
+      for (uint32_t di = 0; di < m.num_disks(); ++di) {
+        m.disk(di).InjectBitRot(rot_prob, wave_seed ^ di);
+        m.disk(di).InjectLatentSectorErrors(lse_prob, wave_seed ^ di);
+      }
+    });
+  }
+  return s;
+}
+
+NemesisSchedule IntegrityChaos(uint64_t seed, int data_count, Nanos span) {
+  // Independent sub-seeds, same idiom as Combined().
+  NemesisSchedule out = BitRot(seed * 3 + 1, data_count, span);
+  Rng rng(seed ^ 0xfee1badull);
+  const int victim = static_cast<int>(rng.Uniform(static_cast<uint64_t>(data_count)));
+  const double corrupt = 0.1 + 0.1 * static_cast<double>(rng.Uniform(3));
+  const Nanos hit = span / 5 + rng.Uniform(span / 5);
+  const Nanos held = span / 4;
+  std::ostringstream d;
+  d << "gray-corrupt data[" << victim << "] write_corrupt=" << corrupt;
+  out.Add(hit, d.str(), [victim, corrupt](core::Testbed& bed) {
+    sim::GrayFailure g;
+    g.write_corrupt_prob = corrupt;
+    bed.data_machine(victim).SetGrayFailure(g);
+  });
+  out.Add(hit + held, "restore data[" + std::to_string(victim) + "]",
+          [victim](core::Testbed& bed) { bed.data_machine(victim).ClearGrayFailure(); });
+  return out;
+}
+
 NemesisSchedule Combined(uint64_t seed, int meta_count, int data_count, Nanos span) {
   // Independent sub-seeds so each ingredient draws its own fault sequence.
   NemesisSchedule out = NetChaos(seed * 3 + 1, span);

@@ -80,6 +80,18 @@ NemesisSchedule GrayDataDisk(uint64_t seed, int data_count, Nanos span);
 // Lossy network: probabilistic drop/dup/delay on all links for a stretch.
 NemesisSchedule NetChaos(uint64_t seed, Nanos span);
 
+// At-rest damage: several waves of silent bit rot plus latent sector errors
+// across the data machines' disks. Each wave's damage set is a pure function
+// of (disk contents at fire time, wave seed), so the whole schedule replays
+// byte-identically. Restorative by design: damage is repaired by verified
+// reads and the scrubber, not by a heal event.
+NemesisSchedule BitRot(uint64_t seed, int data_count, Nanos span);
+
+// The integrity battery: bit rot + latent sector errors + a window where one
+// data machine's disks silently corrupt a fraction of incoming writes
+// (write_corrupt_prob gray failure), cleared before the audit.
+NemesisSchedule IntegrityChaos(uint64_t seed, int data_count, Nanos span);
+
 // Composition of the above picked by seed: crash + gray disk + lossy net.
 NemesisSchedule Combined(uint64_t seed, int meta_count, int data_count, Nanos span);
 

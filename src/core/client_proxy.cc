@@ -20,7 +20,9 @@ ClientProxy::ClientProxy(rpc::Node& rpc, CheetahOptions options,
       scope_("proxy@" + std::to_string(rpc.id())),
       counters_{scope_.counter("puts"),    scope_.counter("gets"),
                 scope_.counter("deletes"), scope_.counter("retries"),
-                scope_.counter("failures"), scope_.counter("cache_hits")} {}
+                scope_.counter("failures"), scope_.counter("cache_hits"),
+                scope_.counter("corrupt_replica_reads"),
+                scope_.counter("read_repairs")} {}
 
 ClientProxy::MetaWindow& ClientProxy::WindowFor(sim::NodeId dst) {
   auto it = windows_.find(dst);
@@ -420,6 +422,7 @@ sim::Task<Result<std::string>> ClientProxy::ReadData(const ObMeta& meta, bool ve
   // pointer held across an await).
   const std::vector<cluster::PvId> order = lv->replicas;
   const uint32_t block_size = lv->block_size;
+  std::vector<DamagedReplica> damaged;
   // The lease lets a get read from any one of the n data servers (§5.1).
   const size_t start = rng_.Uniform(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
@@ -433,11 +436,22 @@ sim::Task<Result<std::string>> ClientProxy::ReadData(const ObMeta& meta, bool ve
     read.block_size = block_size;
     read.extents = meta.extents;
     read.length = meta.size;
+    read.verify = verify;
+    read.expected_checksum = meta.checksum;
     const sim::NodeId target = pv->data_server;
+    const DamagedReplica as_damaged{pv->DeviceName(), pv->disk_index, target};
     auto r = co_await rpc_.Call(target, std::move(read), options_.rpc_timeout);
     if (!r.ok()) {
       if (r.status().IsTimeout()) {
         ReportSuspect(target);
+      }
+      // A server-side verification failure or an unreadable sector is
+      // positive evidence of damage (unlike a timeout or a stale view):
+      // remember the replica for repair.
+      if (r.status().code() == ErrorCode::kCorruption ||
+          r.status().code() == ErrorCode::kIoError) {
+        counters_.corrupt_replica_reads->Add();
+        damaged.push_back(as_damaged);
       }
       continue;
     }
@@ -446,12 +460,48 @@ sim::Task<Result<std::string>> ClientProxy::ReadData(const ObMeta& meta, bool ve
       // the checksum it stored at write time.
       const uint32_t crc = r->content_valid ? Crc32c(r->data) : r->checksum;
       if (crc != meta.checksum || r->checksum != meta.checksum) {
+        counters_.corrupt_replica_reads->Add();
+        damaged.push_back(as_damaged);
         continue;  // corrupt/partial replica; try another
       }
+    }
+    if (verify && !damaged.empty() && options_.enable_read_repair) {
+      SpawnReadRepair(meta, block_size, std::move(damaged), r->data);
     }
     co_return std::move(r->data);
   }
   co_return Status::Unavailable("no data replica answered");
+}
+
+void ClientProxy::SpawnReadRepair(const ObMeta& meta, uint32_t block_size,
+                                  std::vector<DamagedReplica> damaged, std::string data) {
+  // Fire-and-forget on the proxy's actor: the get that discovered the damage
+  // has already returned by the time these writes land. Everything the task
+  // needs is copied in — a concurrent delete or topology push can't dangle
+  // it. Writing to a deleted object's old extents is benign: visibility is
+  // governed by MetaX, and the blocks are either unallocated (the write is
+  // superseded by the next put to reuse them, which lands later than this
+  // repair in virtual time or overwrites it) or already reused (the repair
+  // write is itself overwritten; scrub re-heals if it races in between).
+  rpc_.machine().actor().Spawn([](ClientProxy* self, ObMeta meta, uint32_t block_size,
+                                  std::vector<DamagedReplica> damaged,
+                                  std::string data) -> sim::Task<> {
+    for (const DamagedReplica& d : damaged) {
+      RepairWriteRequest write;
+      write.view = self->topo_.view;
+      write.device = d.device;
+      write.disk_index = d.disk_index;
+      write.block_size = block_size;
+      write.extents = meta.extents;
+      write.data = data;
+      write.checksum = meta.checksum;
+      auto w = co_await self->rpc_.Call(d.data_server, std::move(write),
+                                        self->options_.rpc_timeout);
+      if (w.ok()) {
+        self->counters_.read_repairs->Add();
+      }
+    }
+  }(this, meta, block_size, std::move(damaged), std::move(data)));
 }
 
 // ---- delete ----

@@ -54,11 +54,15 @@ class ClientProxy {
     uint64_t retries = 0;
     uint64_t failures = 0;
     uint64_t cache_hits = 0;
+    uint64_t corrupt_replica_reads = 0;  // replicas rejected by verification
+    uint64_t read_repairs = 0;           // damaged replicas rewritten
   };
   Stats stats() const {
     return Stats{counters_.puts->value(),    counters_.gets->value(),
                  counters_.deletes->value(), counters_.retries->value(),
-                 counters_.failures->value(), counters_.cache_hits->value()};
+                 counters_.failures->value(), counters_.cache_hits->value(),
+                 counters_.corrupt_replica_reads->value(),
+                 counters_.read_repairs->value()};
   }
 
   uint64_t view() const { return topo_.view; }
@@ -115,6 +119,19 @@ class ClientProxy {
                                       const std::string& data, uint32_t checksum);
   sim::Task<Result<std::string>> ReadData(const ObMeta& meta, bool verify);
 
+  // A replica that positively failed verification (server-side kCorruption /
+  // kIoError or client-side checksum mismatch) — everything a repair write
+  // needs, copied out of the topology.
+  struct DamagedReplica {
+    std::string device;
+    uint32_t disk_index = 0;
+    sim::NodeId data_server = sim::kInvalidNode;
+  };
+  // Fire-and-forget maintenance-class rewrite of damaged replicas from the
+  // verified payload the get just returned.
+  void SpawnReadRepair(const ObMeta& meta, uint32_t block_size,
+                       std::vector<DamagedReplica> damaged, std::string data);
+
   sim::Task<Result<MetaPersistedAck>> HandlePersisted(sim::NodeId src,
                                                       MetaPersistedNotify req);
   sim::Task<Result<cluster::TopologyPushReply>> HandleTopologyPush(sim::NodeId src,
@@ -149,6 +166,8 @@ class ClientProxy {
     obs::Counter* retries;
     obs::Counter* failures;
     obs::Counter* cache_hits;
+    obs::Counter* corrupt_replica_reads;
+    obs::Counter* read_repairs;
   } counters_;
 };
 

@@ -18,7 +18,7 @@ DataServer::DataServer(rpc::Node& rpc, CheetahOptions options,
       counters_{scope_.counter("writes"),          scope_.counter("reads"),
                 scope_.counter("probes"),          scope_.counter("bytes_written"),
                 scope_.counter("bytes_read"),      scope_.counter("volumes_recovered"),
-                scope_.counter("recovery_bytes")} {}
+                scope_.counter("recovery_bytes"),  scope_.counter("verify_failures")} {}
 
 void DataServer::Start() {
   rpc_.Serve<DataWriteRequest>(
@@ -31,6 +31,19 @@ void DataServer::Start() {
         return HandleRead(src, std::move(req));
       },
       qos::TrafficClass::kForeground);
+  // Repair traffic shares the read/write handlers (the derived request
+  // slices to its base) but rides the maintenance class, so scrub and
+  // read-repair I/O never contends with foreground puts/gets for credit.
+  rpc_.Serve<RepairReadRequest>(
+      [this](sim::NodeId src, RepairReadRequest req) {
+        return HandleRead(src, std::move(req));
+      },
+      qos::TrafficClass::kMaintenance);
+  rpc_.Serve<RepairWriteRequest>(
+      [this](sim::NodeId src, RepairWriteRequest req) {
+        return HandleWrite(src, std::move(req));
+      },
+      qos::TrafficClass::kMaintenance);
   rpc_.Serve<DataProbeRequest>(
       [this](sim::NodeId src, DataProbeRequest req) {
         return HandleProbe(src, std::move(req));
@@ -103,11 +116,25 @@ sim::Task<Result<DataReadReply>> DataServer::HandleRead(sim::NodeId src,
       co_return data.status();
     }
     // All extents of an object store the same whole-object checksum.
-    if (auto crc = disk.PeekChecksum(req.device, offset)) {
+    auto crc = disk.PeekChecksum(req.device, offset);
+    if (crc) {
       reply.checksum = *crc;
+    }
+    // Verified read: reject per extent, before any damaged byte is framed
+    // into a reply.
+    if (req.verify && (!crc || *crc != req.expected_checksum)) {
+      counters_.verify_failures->Add();
+      co_return Status::Corruption("extent checksum mismatch at " + req.device +
+                                   "+" + std::to_string(offset));
     }
     reply.data += *data;
     remaining -= want;
+  }
+  if (req.verify && reply.content_valid && Crc32c(reply.data) != req.expected_checksum) {
+    // Belt and suspenders for full-content mode: the payload itself rotted
+    // while the stored checksum stayed intact.
+    counters_.verify_failures->Add();
+    co_return Status::Corruption("payload checksum mismatch on " + req.device);
   }
   counters_.reads->Add();
   counters_.bytes_read->Add(reply.data.size());

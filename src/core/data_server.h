@@ -43,12 +43,13 @@ class DataServer {
     uint64_t bytes_read = 0;
     uint64_t volumes_recovered = 0;
     uint64_t recovery_bytes = 0;
+    uint64_t verify_failures = 0;  // verified reads refused for corruption
   };
   Stats stats() const {
     return Stats{counters_.writes->value(),          counters_.reads->value(),
                  counters_.probes->value(),          counters_.bytes_written->value(),
                  counters_.bytes_read->value(),      counters_.volumes_recovered->value(),
-                 counters_.recovery_bytes->value()};
+                 counters_.recovery_bytes->value(),  counters_.verify_failures->value()};
   }
 
  private:
@@ -78,6 +79,7 @@ class DataServer {
     obs::Counter* bytes_read;
     obs::Counter* volumes_recovered;
     obs::Counter* recovery_bytes;
+    obs::Counter* verify_failures;
   } counters_;
 };
 

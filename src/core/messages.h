@@ -197,7 +197,30 @@ struct DataReadRequest {
   uint32_t block_size = 4096;
   std::vector<alloc::Extent> extents;
   uint64_t length = 0;  // object size (may be < extent bytes)
-  size_t wire_size() const { return 56 + device.size() + extents.size() * 16; }
+  // Verified read: the server compares every extent's stored checksum (and,
+  // in full-content mode, the recomputed payload CRC) against
+  // expected_checksum and answers kCorruption instead of shipping damaged
+  // bytes. End-to-end integrity needs the check server-side too: a reply
+  // that never leaves the data server can't be acked to a client by
+  // accident.
+  bool verify = false;
+  uint32_t expected_checksum = 0;
+  size_t wire_size() const { return 64 + device.size() + extents.size() * 16; }
+};
+
+// ---- repair traffic (read-repair and scrub) ----
+// Wire-identical to the data read/write requests but registered under the
+// maintenance QoS class: traffic classes attach to request *types* at
+// Serve() time, so repair I/O gets its own type to keep it from contending
+// with foreground puts/gets for scheduler credit. Handlers slice to the base
+// request and share the foreground code path.
+
+struct RepairReadRequest : DataReadRequest {
+  RepairReadRequest() = default;
+};
+
+struct RepairWriteRequest : DataWriteRequest {
+  RepairWriteRequest() = default;
 };
 
 // Meta server probe: is the object's data fully persisted with the expected

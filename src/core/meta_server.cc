@@ -5,6 +5,7 @@
 #include "src/common/crc32c.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/core/scrubber.h"
 #include "src/qos/qos.h"
 #include "src/sim/actor.h"
 #include "src/sim/sync.h"
@@ -33,11 +34,14 @@ MetaServer::MetaServer(rpc::Node& rpc, CheetahOptions options,
                 scope_.counter("completed_puts"),
                 scope_.counter("revoked_puts"),
                 scope_.counter("logs_cleaned"),
-                scope_.counter("migrated_objects"),
-                scope_.counter("scrubbed_objects"),
-                scope_.counter("scrub_repairs")} {}
+                scope_.counter("migrated_objects")} {
+  scrubber_ = std::make_unique<Scrubber>(*this, rpc_, options_);
+}
+
+MetaServer::~MetaServer() = default;
 
 MetaServer::Stats MetaServer::stats() const {
+  const Scrubber::Stats scrub = scrubber_->stats();
   return Stats{counters_.put_allocs->value(),
                counters_.gets->value(),
                counters_.deletes->value(),
@@ -48,8 +52,8 @@ MetaServer::Stats MetaServer::stats() const {
                counters_.revoked_puts->value(),
                counters_.logs_cleaned->value(),
                counters_.migrated_objects->value(),
-               counters_.scrubbed_objects->value(),
-               counters_.scrub_repairs->value()};
+               scrub.objects,
+               scrub.repairs};
 }
 
 void MetaServer::Start() {
@@ -102,7 +106,7 @@ sim::Task<> MetaServer::Init() {
   rpc_.machine().actor().Spawn(HeartbeatLoop());
   rpc_.machine().actor().Spawn(CleanerLoop());
   if (options_.scrub_interval > 0) {
-    rpc_.machine().actor().Spawn(ScrubLoop());
+    rpc_.machine().actor().Spawn(scrubber_->Loop());
   }
 }
 
@@ -1133,105 +1137,7 @@ sim::Task<> MetaServer::HeartbeatLoop() {
   }
 }
 
-sim::Task<> MetaServer::ScrubLoop() {
-  for (;;) {
-    co_await sim::SleepFor(options_.scrub_interval);
-    co_await ScrubNow();
-  }
-}
-
-sim::Task<> MetaServer::ScrubNow() {
-  if (db_ == nullptr || topo_.view == 0) {
-    co_return;
-  }
-  for (cluster::PgId pg = 0; pg < topo_.pg_count; ++pg) {
-    if (IsPrimary(pg) && ready_pgs_.contains(pg)) {
-      co_await ScrubPg(pg);
-    }
-  }
-}
-
-sim::Task<> MetaServer::ScrubPg(cluster::PgId pg) {
-  // Audit: for every settled object of the PG, probe each data replica's
-  // stored checksum against MetaX; repair divergent replicas from a healthy
-  // one. The aggregated metadata makes this a pure meta-server activity — no
-  // data-server-side index to cross-check (§2.2's contrast).
-  const uint64_t scrub_view = topo_.view;
-  auto rows = co_await db_->Scan(ObMetaPrefix(pg), 0);
-  if (!rows.ok()) {
-    co_return;
-  }
-  for (const auto& [key, value] : *rows) {
-    if (topo_.view != scrub_view || !IsPrimary(pg)) {
-      co_return;  // superseded by a view change
-    }
-    cluster::PgId key_pg = 0;
-    std::string name;
-    if (!ParseObMetaKey(key, &key_pg, &name) || pending_names_.contains(name)) {
-      continue;  // unresolved puts are the cleaner's job
-    }
-    auto meta = ObMeta::Decode(value);
-    if (!meta.ok()) {
-      continue;
-    }
-    const cluster::LogicalVolume* lv = topo_.FindLv(meta->lvid);
-    if (lv == nullptr) {
-      continue;
-    }
-    const cluster::PhysicalVolume* good = nullptr;
-    std::vector<const cluster::PhysicalVolume*> bad;
-    for (cluster::PvId pv_id : lv->replicas) {
-      const cluster::PhysicalVolume* pv = topo_.FindPv(pv_id);
-      if (pv == nullptr || !pv->healthy) {
-        continue;
-      }
-      DataProbeRequest probe;
-      probe.device = pv->DeviceName();
-      probe.disk_index = pv->disk_index;
-      probe.block_size = lv->block_size;
-      probe.extents = meta->extents;
-      probe.expected_checksum = meta->checksum;
-      auto r = co_await rpc_.Call(pv->data_server, std::move(probe), options_.rpc_timeout);
-      if (!r.ok()) {
-        continue;  // indeterminate; next scrub retries
-      }
-      if (r->present) {
-        good = pv;
-      } else {
-        bad.push_back(pv);
-      }
-    }
-    counters_.scrubbed_objects->Add();
-    if (bad.empty() || good == nullptr) {
-      continue;
-    }
-    // Repair: copy the healthy replica over the divergent ones.
-    DataReadRequest read;
-    read.device = good->DeviceName();
-    read.disk_index = good->disk_index;
-    read.block_size = lv->block_size;
-    read.extents = meta->extents;
-    read.length = meta->size;
-    auto data = co_await rpc_.Call(good->data_server, std::move(read), options_.rpc_timeout);
-    if (!data.ok()) {
-      continue;
-    }
-    for (const cluster::PhysicalVolume* pv : bad) {
-      DataWriteRequest write;
-      write.view = topo_.view;
-      write.device = pv->DeviceName();
-      write.disk_index = pv->disk_index;
-      write.block_size = lv->block_size;
-      write.extents = meta->extents;
-      write.data = data->data;
-      write.checksum = meta->checksum;
-      auto w = co_await rpc_.Call(pv->data_server, std::move(write), options_.rpc_timeout);
-      if (w.ok()) {
-        counters_.scrub_repairs->Add();
-      }
-    }
-  }
-}
+sim::Task<> MetaServer::ScrubNow() { return scrubber_->ScrubAll(); }
 
 sim::Task<> MetaServer::CleanerLoop() {
   for (;;) {

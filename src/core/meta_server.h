@@ -37,10 +37,13 @@
 
 namespace cheetah::core {
 
+class Scrubber;
+
 class MetaServer {
  public:
   MetaServer(rpc::Node& rpc, CheetahOptions options,
              std::vector<sim::NodeId> manager_nodes, uint64_t seed);
+  ~MetaServer();  // out of line: scrubber_ owns an incomplete type here
 
   // Registers handlers and spawns init/heartbeat/cleaner loops.
   void Start();
@@ -57,7 +60,7 @@ class MetaServer {
     uint64_t revoked_puts = 0;
     uint64_t logs_cleaned = 0;
     uint64_t migrated_objects = 0;  // Cheetah-NoVG only
-    uint64_t scrubbed_objects = 0;
+    uint64_t scrubbed_objects = 0;  // mirrored from the Scrubber
     uint64_t scrub_repairs = 0;
   };
   Stats stats() const;
@@ -75,10 +78,12 @@ class MetaServer {
   // Test hook: runs one cleaner pass immediately.
   sim::Task<> CleanNow() { return CleanLogs(); }
   // Audits every primary PG once (also runs periodically if
-  // options.scrub_interval > 0).
+  // options.scrub_interval > 0). Delegates to the Scrubber.
   sim::Task<> ScrubNow();
+  Scrubber& scrubber() { return *scrubber_; }
 
  private:
+  friend class Scrubber;  // reads db_/topo_/ready_pgs_/pending_names_
   struct PendingPut {
     ReqId reqid = 0;
     std::string name;
@@ -96,8 +101,6 @@ class MetaServer {
   sim::Task<> HeartbeatLoop();
   sim::Task<> CleanerLoop();
   sim::Task<> CleanLogs();
-  sim::Task<> ScrubLoop();
-  sim::Task<> ScrubPg(cluster::PgId pg);
 
   // Pulls newly-responsible PGs, rebuilds allocators/opseq/pending.
   sim::Task<> AdoptTopology(cluster::TopologyMap next);
@@ -155,6 +158,8 @@ class MetaServer {
   std::map<ReqId, PendingPut> pending_;
   std::map<std::string, ReqId> pending_names_;
 
+  std::unique_ptr<Scrubber> scrubber_;
+
   obs::Scope scope_;
   struct {
     obs::Counter* put_allocs;
@@ -167,8 +172,6 @@ class MetaServer {
     obs::Counter* revoked_puts;
     obs::Counter* logs_cleaned;
     obs::Counter* migrated_objects;
-    obs::Counter* scrubbed_objects;
-    obs::Counter* scrub_repairs;
   } counters_;
 };
 

@@ -29,6 +29,14 @@ struct CheetahOptions {
   // Proxy-side metadata cache for the §7 read optimization.
   bool enable_read_cache = true;
 
+  // Transparent read-repair: when a verified get finds a corrupt or
+  // unreadable replica but another replica answers clean, the proxy
+  // fire-and-forgets a maintenance-class rewrite of the damaged copy. The
+  // get's latency never waits on the repair. Deletes stay safe: repair only
+  // touches the data plane, and object visibility is governed entirely by
+  // MetaX tombstones.
+  bool enable_read_repair = true;
+
   // Evaluation-only (Fig. 13): store just the volume metadata KV per put,
   // like a traditional thin directory, instead of the full MetaX triple.
   // Recovery guarantees do not hold in this mode.

@@ -1,0 +1,141 @@
+#include "src/core/scrubber.h"
+
+#include <string>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/core/meta_server.h"
+#include "src/core/messages.h"
+#include "src/core/metax.h"
+#include "src/sim/sync.h"
+
+namespace cheetah::core {
+
+Scrubber::Scrubber(MetaServer& ms, rpc::Node& rpc, const CheetahOptions& options)
+    : ms_(ms),
+      rpc_(rpc),
+      options_(options),
+      scope_("scrub@" + std::to_string(rpc.id())),
+      counters_{scope_.counter("objects"),
+                scope_.counter("corrupt_found"),
+                scope_.counter("repairs"),
+                scope_.counter("repair_failures"),
+                scope_.counter("probe_errors"),
+                scope_.counter("bytes_repaired")} {}
+
+sim::Task<> Scrubber::Loop() {
+  for (;;) {
+    co_await sim::SleepFor(options_.scrub_interval);
+    co_await ScrubAll();
+  }
+}
+
+sim::Task<> Scrubber::ScrubAll() {
+  if (ms_.db_ == nullptr || ms_.topo_.view == 0) {
+    co_return;
+  }
+  for (cluster::PgId pg = 0; pg < ms_.topo_.pg_count; ++pg) {
+    if (ms_.IsPrimary(pg) && ms_.ready_pgs_.contains(pg)) {
+      co_await ScrubPg(pg);
+    }
+  }
+}
+
+sim::Task<> Scrubber::ScrubPg(cluster::PgId pg) {
+  // Audit: for every settled object of the PG, probe each data replica's
+  // stored checksum against MetaX; repair divergent replicas from a healthy
+  // one. A replica counts as damaged whether the probe sees a checksum
+  // mismatch (bit rot, torn write) or an I/O error (latent sector error) —
+  // the repair write remaps either way.
+  const uint64_t scrub_view = ms_.topo_.view;
+  auto rows = co_await ms_.db_->Scan(ObMetaPrefix(pg), 0);
+  if (!rows.ok()) {
+    co_return;
+  }
+  for (const auto& [key, value] : *rows) {
+    if (ms_.topo_.view != scrub_view || !ms_.IsPrimary(pg)) {
+      co_return;  // superseded by a view change
+    }
+    cluster::PgId key_pg = 0;
+    std::string name;
+    if (!ParseObMetaKey(key, &key_pg, &name) || ms_.pending_names_.contains(name)) {
+      continue;  // unresolved puts are the cleaner's job
+    }
+    auto meta = ObMeta::Decode(value);
+    if (!meta.ok()) {
+      continue;
+    }
+    const cluster::LogicalVolume* lv = ms_.topo_.FindLv(meta->lvid);
+    if (lv == nullptr) {
+      continue;
+    }
+    const cluster::PhysicalVolume* good = nullptr;
+    std::vector<const cluster::PhysicalVolume*> bad;
+    for (cluster::PvId pv_id : lv->replicas) {
+      const cluster::PhysicalVolume* pv = ms_.topo_.FindPv(pv_id);
+      if (pv == nullptr || !pv->healthy) {
+        continue;
+      }
+      DataProbeRequest probe;
+      probe.device = pv->DeviceName();
+      probe.disk_index = pv->disk_index;
+      probe.block_size = lv->block_size;
+      probe.extents = meta->extents;
+      probe.expected_checksum = meta->checksum;
+      auto r = co_await rpc_.Call(pv->data_server, std::move(probe),
+                                  options_.rpc_timeout);
+      if (!r.ok()) {
+        counters_.probe_errors->Add();
+        continue;  // indeterminate; next scrub retries
+      }
+      if (r->present) {
+        good = pv;
+      } else {
+        counters_.corrupt_found->Add();
+        bad.push_back(pv);
+      }
+    }
+    counters_.objects->Add();
+    if (bad.empty() || good == nullptr) {
+      continue;
+    }
+    // Repair: copy the healthy replica over the divergent ones. The source
+    // read is verified against MetaX so a race (probe passed, then the
+    // source rotted) can never propagate a damaged payload.
+    RepairReadRequest read;
+    read.device = good->DeviceName();
+    read.disk_index = good->disk_index;
+    read.block_size = lv->block_size;
+    read.extents = meta->extents;
+    read.length = meta->size;
+    read.verify = true;
+    read.expected_checksum = meta->checksum;
+    auto data = co_await rpc_.Call(good->data_server, std::move(read),
+                                   options_.rpc_timeout);
+    if (!data.ok()) {
+      counters_.repair_failures->Add();
+      continue;
+    }
+    for (const cluster::PhysicalVolume* pv : bad) {
+      RepairWriteRequest write;
+      write.view = ms_.topo_.view;
+      write.device = pv->DeviceName();
+      write.disk_index = pv->disk_index;
+      write.block_size = lv->block_size;
+      write.extents = meta->extents;
+      write.data = data->data;
+      write.checksum = meta->checksum;
+      const uint64_t repaired_bytes = write.data.size();
+      auto w = co_await rpc_.Call(pv->data_server, std::move(write),
+                                  options_.rpc_timeout);
+      if (w.ok()) {
+        counters_.repairs->Add();
+        counters_.bytes_repaired->Add(repaired_bytes);
+      } else {
+        counters_.repair_failures->Add();
+      }
+    }
+  }
+}
+
+}  // namespace cheetah::core

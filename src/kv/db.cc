@@ -103,11 +103,18 @@ sim::Task<Result<std::unique_ptr<DB>>> DB::Open(Options options, sim::Storage* s
     if (!file.ok()) {
       co_return file.status();
     }
-    auto entries = Table::DecodeEntries(*file);
-    if (!entries.ok()) {
-      co_return entries.status();
+    // Salvaging load: a CRC-bad block loses its own key range only. The
+    // missing rows surface as NotFound, which MetaX's verification and
+    // re-pull paths treat like any other lost replica state; refusing to
+    // open the whole store would turn one flipped bit into a dead server.
+    Table::DecodeResult r = Table::DecodeBlocks(*file);
+    if (r.bad_blocks > 0) {
+      LOG_WARN << "kv " << name << ": salvaged " << (r.blocks - r.bad_blocks)
+               << "/" << r.blocks << " blocks";
+      db->recovery_.sst_blocks_bad += r.bad_blocks;
+      db->counters_.sst_blocks_bad->Add(r.bad_blocks);
     }
-    co_return TablePtr(std::make_shared<Table>(name, std::move(*entries)));
+    co_return TablePtr(std::make_shared<Table>(name, std::move(r.entries)));
   };
   for (const auto& name : db->manifest_l0_) {
     auto t = co_await load(name);
@@ -149,23 +156,44 @@ sim::Task<Result<std::unique_ptr<DB>>> DB::Open(Options options, sim::Storage* s
     if (!file.ok()) {
       co_return file.status();
     }
+    // Paranoid replay. Three distinct endings, reported separately:
+    //  - clean tail: the input ran out exactly at a record boundary;
+    //  - torn tail: an incomplete record at EOF — the benign signature of a
+    //    power loss mid-append (nothing after it can exist);
+    //  - corrupt record: a full-length record whose CRC or decode fails —
+    //    media damage, not truncation. Replay skips it by its framed length
+    //    and keeps salvaging the records that follow (MetaX rows are
+    //    independent KVs; the skipped batch's loss is caught by the put
+    //    verification / scrub paths, while stopping here would silently
+    //    discard every later record too).
     std::string_view input = *file;
+    bool damage_seen = false;
     while (!input.empty()) {
       uint32_t crc = 0;
       uint64_t len = 0;
       if (!GetFixed32(&input, &crc) || !GetFixed64(&input, &len) || input.size() < len) {
-        break;  // torn tail from a power loss
+        ++db->recovery_.wal_torn_tail;
+        db->counters_.wal_torn_tail->Add();
+        break;
       }
       std::string_view payload = input.substr(0, len);
       input.remove_prefix(len);
-      if (Crc32c(payload) != crc) {
-        break;
+      Result<WriteBatch> batch = Status::Corruption("wal record crc");
+      if (Crc32c(payload) == crc) {
+        batch = WriteBatch::Decode(payload);
       }
-      auto batch = WriteBatch::Decode(payload);
       if (!batch.ok()) {
-        break;
+        damage_seen = true;
+        ++db->recovery_.wal_corrupt_records;
+        db->counters_.wal_corrupt_records->Add();
+        continue;
       }
       db->ApplyToMem(*batch);
+      ++db->recovery_.wal_records_replayed;
+      if (damage_seen) {
+        ++db->recovery_.wal_salvaged_records;
+        db->counters_.wal_salvaged_records->Add();
+      }
     }
     // Consolidate: older WALs' contents now live in the memtable; keep
     // appending to the newest WAL file.

@@ -6,9 +6,14 @@
 // WriteBatch gives multi-key atomicity (all-or-nothing across crashes), which
 // is the property Cheetah's MetaX maintenance relies on (§5.2 of the paper).
 //
-// Recovery: Open() reads the manifest, loads live SSTables, deletes orphans
-// from interrupted flushes/compactions, and replays surviving WAL records in
-// order, stopping at the first torn record.
+// Recovery: Open() reads the manifest, loads live SSTables (salvaging around
+// CRC-bad blocks), deletes orphans from interrupted flushes/compactions, and
+// replays surviving WAL records in order. WAL replay is paranoid: it
+// distinguishes a clean tail from a torn final record (benign power-loss
+// truncation) from a full-length record whose CRC or decode fails (media
+// damage), and keeps salvaging records that follow a damaged one. The
+// classification is reported in RecoveryStats and obs counters so a scrub
+// or operator can tell silent corruption from an ordinary crash.
 #ifndef SRC_KV_DB_H_
 #define SRC_KV_DB_H_
 
@@ -41,6 +46,22 @@ class DB {
     uint64_t gets = 0;
     uint64_t wal_bytes = 0;
   };
+
+  // What the last Open() found on disk. `clean` means every WAL byte
+  // replayed and every SSTable block verified: any other combination is
+  // either a benign crash artifact (torn tail) or media damage (corrupt
+  // records / bad blocks).
+  struct RecoveryStats {
+    uint64_t wal_records_replayed = 0;
+    uint64_t wal_torn_tail = 0;        // truncated final record (power loss)
+    uint64_t wal_corrupt_records = 0;  // full-length record, CRC/decode bad
+    uint64_t wal_salvaged_records = 0; // good records found after a corrupt one
+    uint64_t sst_blocks_bad = 0;       // SSTable blocks skipped by salvage
+    bool clean() const {
+      return wal_torn_tail == 0 && wal_corrupt_records == 0 && sst_blocks_bad == 0;
+    }
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_; }
 
   // Opens (or creates) the database named options.name on `storage`.
   static sim::Task<Result<std::unique_ptr<DB>>> Open(Options options, sim::Storage* storage);
@@ -83,7 +104,10 @@ class DB {
         scope_("kv." + options_.name),
         counters_{scope_.counter("writes"), scope_.counter("flushes"),
                   scope_.counter("compactions"), scope_.counter("gets"),
-                  scope_.counter("wal_bytes")} {}
+                  scope_.counter("wal_bytes"), scope_.counter("wal_torn_tail"),
+                  scope_.counter("wal_corrupt_records"),
+                  scope_.counter("wal_salvaged_records"),
+                  scope_.counter("sst_blocks_bad")} {}
 
   using MemTable = std::map<std::string, std::optional<std::string>>;
 
@@ -131,6 +155,8 @@ class DB {
   std::vector<TablePtr> l0_;  // newest first
   std::vector<TablePtr> l1_;  // tiered runs, newest first
 
+  RecoveryStats recovery_;
+
   obs::Scope scope_;
   struct {
     obs::Counter* writes;
@@ -138,6 +164,10 @@ class DB {
     obs::Counter* compactions;
     obs::Counter* gets;
     obs::Counter* wal_bytes;
+    obs::Counter* wal_torn_tail;
+    obs::Counter* wal_corrupt_records;
+    obs::Counter* wal_salvaged_records;
+    obs::Counter* sst_blocks_bad;
   } counters_;
 };
 

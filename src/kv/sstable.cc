@@ -39,64 +39,117 @@ std::vector<const Table::Entry*> Table::PrefixRange(std::string_view prefix) con
   return out;
 }
 
-std::string Table::Encode() const {
+namespace {
+
+// Appends one crc32 | fixed64 len | body block built from [first, last).
+void EncodeBlock(std::string* out, const Table::Entry* first, const Table::Entry* last) {
   std::string body;
-  PutVarint64(&body, entries_.size());
-  for (const auto& e : entries_) {
-    body.push_back(e.value ? 'P' : 'D');
-    PutLengthPrefixed(&body, e.key);
-    if (e.value) {
-      PutLengthPrefixed(&body, *e.value);
+  PutVarint64(&body, static_cast<uint64_t>(last - first));
+  for (const Table::Entry* e = first; e != last; ++e) {
+    body.push_back(e->value ? 'P' : 'D');
+    PutLengthPrefixed(&body, e->key);
+    if (e->value) {
+      PutLengthPrefixed(&body, *e->value);
     }
   }
-  std::string out;
-  PutFixed32(&out, Crc32c(body));
-  PutFixed64(&out, body.size());
-  out += body;
-  return out;
+  PutFixed32(out, Crc32c(body));
+  PutFixed64(out, body.size());
+  *out += body;
 }
 
-Result<std::vector<Table::Entry>> Table::DecodeEntries(std::string_view file) {
-  std::string_view input = file;
-  uint32_t crc = 0;
-  uint64_t len = 0;
-  if (!GetFixed32(&input, &crc) || !GetFixed64(&input, &len) || input.size() < len) {
-    return Status::Corruption("sstable header");
-  }
-  std::string_view body = input.substr(0, len);
-  if (Crc32c(body) != crc) {
-    return Status::Corruption("sstable checksum mismatch");
-  }
+// Parses one CRC-verified block body into `entries`. Returns false (leaving
+// any partially-appended entries removed) if the body is malformed.
+bool DecodeBlockBody(std::string_view body, std::vector<Table::Entry>* entries) {
+  const size_t restore = entries->size();
   uint64_t count = 0;
   if (!GetVarint64(&body, &count)) {
-    return Status::Corruption("sstable count");
+    return false;
   }
-  std::vector<Entry> entries;
-  entries.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     if (body.empty()) {
-      return Status::Corruption("sstable truncated");
+      entries->resize(restore);
+      return false;
     }
     const char tag = body.front();
     body.remove_prefix(1);
     std::string_view key;
     if (!GetLengthPrefixed(&body, &key)) {
-      return Status::Corruption("sstable key");
+      entries->resize(restore);
+      return false;
     }
-    Entry e;
+    Table::Entry e;
     e.key = std::string(key);
     if (tag == 'P') {
       std::string_view value;
       if (!GetLengthPrefixed(&body, &value)) {
-        return Status::Corruption("sstable value");
+        entries->resize(restore);
+        return false;
       }
       e.value = std::string(value);
     } else if (tag != 'D') {
-      return Status::Corruption("sstable tag");
+      entries->resize(restore);
+      return false;
     }
-    entries.push_back(std::move(e));
+    entries->push_back(std::move(e));
   }
-  return entries;
+  return true;
+}
+
+}  // namespace
+
+std::string Table::Encode() const {
+  std::string out;
+  if (entries_.empty()) {
+    EncodeBlock(&out, nullptr, nullptr);
+    return out;
+  }
+  // Cut a new block whenever the accumulated entry payload passes
+  // kBlockBytes; every block stays independently decodable.
+  size_t begin = 0;
+  size_t acc = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    acc += entries_[i].key.size() + (entries_[i].value ? entries_[i].value->size() : 0) + 8;
+    if (acc >= kBlockBytes) {
+      EncodeBlock(&out, entries_.data() + begin, entries_.data() + i + 1);
+      begin = i + 1;
+      acc = 0;
+    }
+  }
+  if (begin < entries_.size()) {
+    EncodeBlock(&out, entries_.data() + begin, entries_.data() + entries_.size());
+  }
+  return out;
+}
+
+Table::DecodeResult Table::DecodeBlocks(std::string_view file) {
+  DecodeResult out;
+  std::string_view input = file;
+  while (!input.empty()) {
+    uint32_t crc = 0;
+    uint64_t len = 0;
+    if (!GetFixed32(&input, &crc) || !GetFixed64(&input, &len) || input.size() < len) {
+      // Header too mangled to even skip past: the rest of the file is lost.
+      ++out.blocks;
+      ++out.bad_blocks;
+      break;
+    }
+    std::string_view body = input.substr(0, len);
+    input.remove_prefix(len);
+    ++out.blocks;
+    if (Crc32c(body) != crc || !DecodeBlockBody(body, &out.entries)) {
+      ++out.bad_blocks;  // skip this block, keep salvaging the next ones
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Table::Entry>> Table::DecodeEntries(std::string_view file) {
+  DecodeResult r = DecodeBlocks(file);
+  if (r.bad_blocks > 0) {
+    return Status::Corruption("sstable: " + std::to_string(r.bad_blocks) + "/" +
+                              std::to_string(r.blocks) + " blocks corrupt");
+  }
+  return std::move(r.entries);
 }
 
 }  // namespace cheetah::kv

@@ -1,7 +1,12 @@
 // Sorted string table: the immutable on-disk unit of the LSM tree.
 //
-// The file payload is a sorted run of (tag, key[, value]) entries with a
-// CRC-protected footer. A parsed copy of the entries is kept in memory for
+// The file is a sequence of self-contained blocks, each framed as
+// crc32(body) | fixed64 len | body, where a body is a varint entry count
+// followed by (tag, key[, value]) entries. Per-block CRCs localize media
+// damage: a decode skips a bad block by its declared length and salvages
+// every other block, instead of discarding the whole table on one flipped
+// bit. A legacy single-block file is exactly a one-block sequence, so old
+// tables parse unchanged. A parsed copy of the entries is kept in memory for
 // lookup logic; disk reads are *charged* to the simulated device when the
 // table is consulted, which is what the experiments measure.
 #ifndef SRC_KV_SSTABLE_H_
@@ -45,8 +50,25 @@ class Table {
 
   const std::vector<Entry>& entries() const { return entries_; }
 
-  // File (de)serialization.
+  // File (de)serialization. Encode targets ~kBlockBytes of entry payload per
+  // block so one damaged block loses a bounded key range.
+  static constexpr size_t kBlockBytes = 4096;
   std::string Encode() const;
+
+  // Salvaging decode: parses every block whose CRC verifies, skipping
+  // damaged ones. `blocks`/`bad_blocks` report what was lost so recovery can
+  // distinguish a clean load from a partial salvage. Fails outright only
+  // when a block header is too mangled to skip past (the remainder of the
+  // file is then unparseable and also counts as one bad block).
+  struct DecodeResult {
+    DecodeResult() = default;
+    std::vector<Entry> entries;
+    uint64_t blocks = 0;
+    uint64_t bad_blocks = 0;
+  };
+  static DecodeResult DecodeBlocks(std::string_view file);
+
+  // Strict variant: Corruption if any block failed to parse.
   static Result<std::vector<Entry>> DecodeEntries(std::string_view file);
 
  private:

@@ -1,5 +1,6 @@
 #include "src/sim/storage.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/obs/trace.h"
@@ -108,21 +109,89 @@ Task<Status> Storage::WriteBlocks(std::string volume, uint64_t offset, std::stri
   // Flaky media: the write acks clean but what lands on the platter differs
   // from what the checksum covers, so later reads/probes reject the extent.
   // Flipping the stored checksum (not recomputing over flipped bytes) models
-  // this in both full-content and metadata-only modes.
+  // this in both full-content and metadata-only modes. A rewrite always
+  // clears a latent sector error (remapped sector).
+  Extent ext{std::move(data), checksum, length};
   if (gray_.write_corrupt_prob > 0 && fault_rng_.Bernoulli(gray_.write_corrupt_prob)) {
     ++corrupted_;
-    checksum ^= 0x5eedbad0u;
-    if (!data.empty()) {
-      data[0] = static_cast<char>(data[0] ^ 0x40);
-    }
+    writes_corrupted_c_->Add();
+    FlipExtent(ext);
   }
   if (!store_volume_content_) {
-    data.clear();
-    data.shrink_to_fit();
+    ext.data.clear();
+    ext.data.shrink_to_fit();
   }
-  vol.extents.emplace(offset, Extent{std::move(data), checksum, length});
+  vol.extents.emplace(offset, std::move(ext));
   vol.bytes_used += length;
   co_return Status::Ok();
+}
+
+void Storage::FlipExtent(Extent& e) {
+  e.checksum ^= 0x5eedbad0u;
+  if (!e.data.empty()) {
+    e.data[0] = static_cast<char>(e.data[0] ^ 0x40);
+  }
+}
+
+uint64_t Storage::InjectBitRot(double prob, uint64_t seed) {
+  Rng rng(seed ^ 0xb17207ull);
+  std::vector<std::string> names;
+  names.reserve(volumes_.size());
+  for (const auto& [name, vol] : volumes_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  uint64_t hit = 0;
+  for (const auto& name : names) {
+    for (auto& [offset, extent] : volumes_[name].extents) {
+      if (extent.unreadable || !rng.Bernoulli(prob)) {
+        continue;
+      }
+      FlipExtent(extent);
+      ++hit;
+    }
+  }
+  bitrot_ += hit;
+  bitrot_extents_c_->Add(hit);
+  return hit;
+}
+
+uint64_t Storage::InjectLatentSectorErrors(double prob, uint64_t seed) {
+  Rng rng(seed ^ 0x15e0ull);
+  std::vector<std::string> names;
+  names.reserve(volumes_.size());
+  for (const auto& [name, vol] : volumes_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  uint64_t hit = 0;
+  for (const auto& name : names) {
+    for (auto& [offset, extent] : volumes_[name].extents) {
+      if (extent.unreadable || !rng.Bernoulli(prob)) {
+        continue;
+      }
+      extent.unreadable = true;
+      ++hit;
+    }
+  }
+  lse_ += hit;
+  lse_extents_c_->Add(hit);
+  return hit;
+}
+
+bool Storage::CorruptExtent(const std::string& volume, uint64_t offset) {
+  auto vit = volumes_.find(volume);
+  if (vit == volumes_.end()) {
+    return false;
+  }
+  auto eit = vit->second.extents.find(offset);
+  if (eit == vit->second.extents.end()) {
+    return false;
+  }
+  FlipExtent(eit->second);
+  ++bitrot_;
+  bitrot_extents_c_->Add();
+  return true;
 }
 
 Task<Result<std::string>> Storage::ReadBlocks(std::string volume, uint64_t offset,
@@ -136,6 +205,10 @@ Task<Result<std::string>> Storage::ReadBlocks(std::string volume, uint64_t offse
     co_return Status::NotFound("no extent at requested offset");
   }
   co_await ChargeRead(length);
+  if (eit->second.unreadable) {
+    co_return Status::IoError("latent sector error at " + volume + "+" +
+                              std::to_string(offset));
+  }
   if (!store_volume_content_) {
     co_return std::string(length, 'x');  // synthesized payload
   }
@@ -149,7 +222,7 @@ std::optional<uint32_t> Storage::PeekChecksum(const std::string& volume,
     return std::nullopt;
   }
   auto eit = vit->second.extents.find(offset);
-  if (eit == vit->second.extents.end()) {
+  if (eit == vit->second.extents.end() || eit->second.unreadable) {
     return std::nullopt;
   }
   return eit->second.checksum;
@@ -178,6 +251,10 @@ Task<Result<uint32_t>> Storage::ProbeChecksum(std::string volume, uint64_t offse
     co_return Status::NotFound("no extent at requested offset");
   }
   co_await ChargeRead(4096);  // checksum probe reads a header, not the payload
+  if (eit->second.unreadable) {
+    co_return Status::IoError("latent sector error at " + volume + "+" +
+                              std::to_string(offset));
+  }
   co_return eit->second.checksum;
 }
 

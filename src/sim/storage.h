@@ -65,7 +65,10 @@ class Storage {
         bus_(loop, 1),
         scope_("sim.disk"),
         ops_(scope_.counter("ops")),
-        io_bytes_(scope_.counter("bytes")) {}
+        io_bytes_(scope_.counter("bytes")),
+        writes_corrupted_c_(scope_.counter("writes_corrupted")),
+        bitrot_extents_c_(scope_.counter("bitrot_extents")),
+        lse_extents_c_(scope_.counter("lse_extents")) {}
 
   const DiskParams& params() const { return params_; }
 
@@ -197,6 +200,29 @@ class Storage {
   void set_fault_seed(uint64_t seed) { fault_rng_ = Rng(seed); }
   uint64_t writes_corrupted() const { return corrupted_; }
 
+  // At-rest integrity faults, applied instantaneously to data already on the
+  // media (no device time passes; the damage is only discovered by later
+  // reads/probes). Both draw from `seed` alone — not the device fault RNG —
+  // so a nemesis replays the exact same damage set regardless of how much
+  // I/O preceded it. Volumes are visited in sorted-name order and extents in
+  // offset order, so the sampled set is a pure function of (contents, seed).
+  //
+  // Bit rot flips stored bytes out from under the extent checksum (modeled
+  // exactly like write_corrupt_prob: the stored checksum diverges from the
+  // content, detectable in both full-content and metadata-only modes).
+  // Returns the number of extents damaged.
+  uint64_t InjectBitRot(double prob, uint64_t seed);
+  // Latent sector errors: the extent header becomes unreadable — reads and
+  // probes fail with kIoError until the extent is rewritten (a repair write
+  // remaps the sector). Returns the number of extents marked.
+  uint64_t InjectLatentSectorErrors(double prob, uint64_t seed);
+  // Targeted variant for tests: corrupts the extent at (volume, offset) the
+  // same way bit rot does. Returns false if no such extent exists.
+  bool CorruptExtent(const std::string& volume, uint64_t offset);
+
+  uint64_t bitrot_extents() const { return bitrot_; }
+  uint64_t lse_extents() const { return lse_; }
+
   uint64_t TotalFileBytes() const;
 
  private:
@@ -209,6 +235,7 @@ class Storage {
     std::string data;
     uint32_t checksum = 0;
     uint64_t length = 0;
+    bool unreadable = false;  // latent sector error; cleared by a rewrite
   };
   struct Volume {
     std::map<uint64_t, Extent> extents;  // keyed by byte offset
@@ -237,15 +264,24 @@ class Storage {
   DiskParams params_;
   Resource channels_;
   Resource bus_;  // shared bandwidth
+  // Flips an extent's stored bytes/checksum in place (bit rot and the
+  // write_corrupt_prob gray failure share the same damage model).
+  static void FlipExtent(Extent& e);
+
   obs::Scope scope_;
   obs::Counter* ops_;
   obs::Counter* io_bytes_;
+  obs::Counter* writes_corrupted_c_;
+  obs::Counter* bitrot_extents_c_;
+  obs::Counter* lse_extents_c_;
   uint32_t node_id_ = 0;
   bool store_volume_content_ = true;
   GrayFailure gray_;
   Nanos fsync_stuck_until_ = 0;
   Rng fault_rng_{0xd15cu};
   uint64_t corrupted_ = 0;
+  uint64_t bitrot_ = 0;
+  uint64_t lse_ = 0;
   std::unordered_map<std::string, File> files_;
   std::unordered_map<std::string, Volume> volumes_;
 };

@@ -5,9 +5,11 @@
 #include <memory>
 #include <string>
 
+#include "src/common/coding.h"
 #include "src/common/crc32c.h"
 #include "src/common/units.h"
 #include "src/kv/db.h"
+#include "src/kv/sstable.h"
 #include "src/sim/actor.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/storage.h"
@@ -174,10 +176,113 @@ TEST_F(KvEdgeTest, TornWalTailStopsReplayCleanly) {
   Run(Options{}, [](DB* db) -> Task<> {
     EXPECT_EQ((co_await db->Get("good1")).value_or("X"), "v1");
     EXPECT_EQ((co_await db->Get("good2")).value_or("X"), "v2");
+    // Replay classified the damage as a truncated tail — a benign power-loss
+    // artifact, not media corruption.
+    EXPECT_EQ(db->recovery_stats().wal_torn_tail, 1u);
+    EXPECT_EQ(db->recovery_stats().wal_corrupt_records, 0u);
+    EXPECT_EQ(db->recovery_stats().wal_records_replayed, 2u);
+    EXPECT_FALSE(db->recovery_stats().clean());
     // The DB remains writable after truncating the torn tail.
     EXPECT_TRUE((co_await db->Put("good3", "v3")).ok());
     EXPECT_EQ((co_await db->Get("good3")).value_or("X"), "v3");
   });
+}
+
+TEST_F(KvEdgeTest, CleanReopenReportsCleanRecovery) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    (void)co_await db->Put("a", "1");
+    (void)co_await db->Put("b", "2");
+  });
+  db_.reset();
+  Run(Options{}, [](DB* db) -> Task<> {
+    EXPECT_TRUE(db->recovery_stats().clean());
+    EXPECT_EQ(db->recovery_stats().wal_records_replayed, 2u);
+    EXPECT_EQ(db->recovery_stats().wal_torn_tail, 0u);
+    EXPECT_EQ(db->recovery_stats().wal_corrupt_records, 0u);
+    co_return;
+  });
+}
+
+TEST_F(KvEdgeTest, CorruptWalRecordIsSkippedAndLaterRecordsSalvaged) {
+  Run(Options{}, [](DB* db) -> Task<> {
+    (void)co_await db->Put("good1", "v1");
+    (void)co_await db->Put("doomed", "v2");
+    (void)co_await db->Put("good3", "v3");
+  });
+  db_.reset();
+  // Flip a payload byte inside the *middle* record. The framing (CRC and
+  // length fields) stays intact, so this is a full-length record whose CRC
+  // fails — media damage, not a torn tail.
+  actor_.Spawn([](Storage* storage) -> Task<> {
+    auto wals = storage->ListFiles("db.wal_");
+    CO_ASSERT_TRUE(!wals.empty());
+    auto file = co_await storage->ReadFile(wals.front());
+    CO_ASSERT_OK(file);
+    std::string_view cursor = *file;
+    uint32_t crc = 0;
+    uint64_t len = 0;
+    CO_ASSERT_TRUE(GetFixed32(&cursor, &crc) && GetFixed64(&cursor, &len));
+    cursor.remove_prefix(len);  // skip record 1
+    CO_ASSERT_TRUE(GetFixed32(&cursor, &crc) && GetFixed64(&cursor, &len));
+    const size_t payload2_off = file->size() - cursor.size();
+    std::string bad = *file;
+    bad[payload2_off + len / 2] ^= 0x01;
+    (void)co_await storage->WriteFile(wals.front(), bad, true);
+  }(&storage_));
+  loop_.Run();
+  Run(Options{}, [](DB* db) -> Task<> {
+    // The damaged batch is lost; everything before AND after it survives.
+    EXPECT_EQ((co_await db->Get("good1")).value_or("X"), "v1");
+    EXPECT_TRUE((co_await db->Get("doomed")).status().IsNotFound());
+    EXPECT_EQ((co_await db->Get("good3")).value_or("X"), "v3");
+    EXPECT_EQ(db->recovery_stats().wal_corrupt_records, 1u);
+    EXPECT_EQ(db->recovery_stats().wal_salvaged_records, 1u);  // good3
+    EXPECT_EQ(db->recovery_stats().wal_records_replayed, 2u);
+    EXPECT_EQ(db->recovery_stats().wal_torn_tail, 0u);
+    EXPECT_FALSE(db->recovery_stats().clean());
+    EXPECT_TRUE((co_await db->Put("again", "v4")).ok());
+    EXPECT_EQ((co_await db->Get("again")).value_or("X"), "v4");
+  });
+}
+
+TEST_F(KvEdgeTest, SstableBlockSalvageSkipsDamagedBlockOnly) {
+  // Enough entries to span several ~4KB blocks.
+  std::vector<Table::Entry> entries;
+  for (int i = 0; i < 100; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof key, "key-%03d", i);
+    entries.push_back({key, std::string(200, static_cast<char>('a' + i % 26))});
+  }
+  Table table("t", entries);
+  std::string enc = table.Encode();
+
+  // Pristine file: every block verifies, nothing lost.
+  Table::DecodeResult clean = Table::DecodeBlocks(enc);
+  EXPECT_GE(clean.blocks, 3u) << "test needs a multi-block table";
+  EXPECT_EQ(clean.bad_blocks, 0u);
+  EXPECT_EQ(clean.entries.size(), entries.size());
+
+  // Rot one byte inside the second block's body: that block's key range is
+  // lost, every other block decodes.
+  std::string_view cursor = enc;
+  uint32_t crc = 0;
+  uint64_t len = 0;
+  ASSERT_TRUE(GetFixed32(&cursor, &crc) && GetFixed64(&cursor, &len));
+  cursor.remove_prefix(len);  // skip block 1
+  ASSERT_TRUE(GetFixed32(&cursor, &crc) && GetFixed64(&cursor, &len));
+  std::string bad = enc;
+  bad[enc.size() - cursor.size() + len / 2] ^= 0x01;
+
+  Table::DecodeResult salvaged = Table::DecodeBlocks(bad);
+  EXPECT_EQ(salvaged.blocks, clean.blocks);
+  EXPECT_EQ(salvaged.bad_blocks, 1u);
+  EXPECT_LT(salvaged.entries.size(), entries.size());
+  EXPECT_GT(salvaged.entries.size(), 0u);
+  // The strict decode refuses the damaged file outright.
+  auto strict = Table::DecodeEntries(bad);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), ErrorCode::kCorruption);
+  EXPECT_TRUE(Table::DecodeEntries(enc).ok());
 }
 
 TEST_F(KvEdgeTest, CountLiveEntriesTracksMutations) {

@@ -199,6 +199,123 @@ TEST(StorageGray, FlakyMediaCorruptsChecksum) {
   EXPECT_NE(*cs, 0xabcdu);  // a read-path verify will reject this replica
 }
 
+TEST(StorageGray, FlakyMediaCorruptionIsProbeObservable) {
+  // The write-path corruption must be visible to every checksum surface the
+  // integrity pipeline uses: PeekChecksum (verified reads), ProbeChecksum
+  // (scrub probes), and the writes_corrupted counter (obs).
+  EventLoop loop;
+  Machine m(loop, 1, "m", MachineParams{});
+  Storage& disk = m.disk();
+  GrayFailure g;
+  g.write_corrupt_prob = 1.0;
+  disk.SetGrayFailure(g);
+  bool done = false;
+  Result<uint32_t> probed = Status::Internal("unset");
+  m.actor().Spawn([](Storage* d, Result<uint32_t>* probed, bool* done) -> Task<> {
+    (void)co_await d->WriteBlocks("vol", 0, std::string(4096, 'x'), 0x1234u);
+    *probed = co_await d->ProbeChecksum("vol", 0);
+    *done = true;
+  }(&disk, &probed, &done));
+  loop.RunFor(Seconds(1));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(disk.writes_corrupted(), 1u);
+  ASSERT_TRUE(probed.ok());
+  EXPECT_NE(*probed, 0x1234u);  // the scrub probe sees the damage
+  ASSERT_TRUE(disk.PeekChecksum("vol", 0).has_value());
+  EXPECT_EQ(*disk.PeekChecksum("vol", 0), *probed);
+}
+
+// ---- at-rest fault injection ----
+
+// Writes `n` 4KB extents with checksum = extent index + 1.
+void Populate(Machine& m, Storage& disk, int n) {
+  bool done = false;
+  m.actor().Spawn([](Storage* d, int n, bool* done) -> Task<> {
+    for (int i = 0; i < n; ++i) {
+      (void)co_await d->WriteBlocks("vol", static_cast<uint64_t>(i) * 4096,
+                                    std::string(4096, 'x'),
+                                    static_cast<uint32_t>(i + 1));
+    }
+    *done = true;
+  }(&disk, n, &done));
+  m.loop().RunFor(Seconds(5));
+  ASSERT_TRUE(done);
+}
+
+TEST(StorageAtRest, InjectBitRotFlipsStoredChecksums) {
+  EventLoop loop;
+  Machine m(loop, 1, "m", MachineParams{});
+  Storage& disk = m.disk();
+  Populate(m, disk, 8);
+  EXPECT_EQ(disk.InjectBitRot(0.0, 99), 0u);
+  EXPECT_EQ(disk.bitrot_extents(), 0u);
+  const uint64_t hits = disk.InjectBitRot(1.0, 99);
+  EXPECT_EQ(hits, 8u);
+  EXPECT_EQ(disk.bitrot_extents(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    auto cs = disk.PeekChecksum("vol", static_cast<uint64_t>(i) * 4096);
+    ASSERT_TRUE(cs.has_value());
+    EXPECT_NE(*cs, static_cast<uint32_t>(i + 1));  // verify/probe will reject
+  }
+}
+
+TEST(StorageAtRest, InjectBitRotIsDeterministicPerSeed) {
+  auto damage_set = [](uint64_t seed) {
+    EventLoop loop;
+    Machine m(loop, 1, "m", MachineParams{});
+    Storage& disk = m.disk();
+    Populate(m, disk, 32);
+    disk.InjectBitRot(0.5, seed);
+    std::vector<bool> hit;
+    for (int i = 0; i < 32; ++i) {
+      auto cs = disk.PeekChecksum("vol", static_cast<uint64_t>(i) * 4096);
+      hit.push_back(cs.has_value() && *cs != static_cast<uint32_t>(i + 1));
+    }
+    return hit;
+  };
+  EXPECT_EQ(damage_set(7), damage_set(7));
+  EXPECT_NE(damage_set(7), damage_set(8));
+}
+
+TEST(StorageAtRest, LatentSectorErrorsMakeExtentsUnreadableUntilRewritten) {
+  EventLoop loop;
+  Machine m(loop, 1, "m", MachineParams{});
+  Storage& disk = m.disk();
+  Populate(m, disk, 4);
+  EXPECT_EQ(disk.InjectLatentSectorErrors(1.0, 5), 4u);
+  EXPECT_EQ(disk.lse_extents(), 4u);
+  // Reads and probes fail with an I/O error; Peek sees nothing.
+  bool done = false;
+  Status read_status = Status::Ok();
+  Result<uint32_t> probed = 0u;  // overwritten by the probe below
+  m.actor().Spawn([](Storage* d, Status* rs, Result<uint32_t>* probed, bool* done) -> Task<> {
+    auto r = co_await d->ReadBlocks("vol", 0, 4096);
+    *rs = r.status();
+    *probed = co_await d->ProbeChecksum("vol", 0);
+    // A rewrite remaps the sector: the extent is whole again.
+    (void)co_await d->WriteBlocks("vol", 0, std::string(4096, 'y'), 0xfeedu);
+    *done = true;
+  }(&disk, &read_status, &probed, &done));
+  loop.RunFor(Seconds(5));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(read_status.code(), ErrorCode::kIoError);
+  EXPECT_FALSE(probed.ok());
+  EXPECT_FALSE(disk.PeekChecksum("vol", 4096).has_value());  // still bad
+  EXPECT_EQ(*disk.PeekChecksum("vol", 0), 0xfeedu);          // repaired
+}
+
+TEST(StorageAtRest, CorruptExtentTargetsExactlyOneExtent) {
+  EventLoop loop;
+  Machine m(loop, 1, "m", MachineParams{});
+  Storage& disk = m.disk();
+  Populate(m, disk, 2);
+  EXPECT_TRUE(disk.CorruptExtent("vol", 0));
+  EXPECT_FALSE(disk.CorruptExtent("vol", 12345));     // no extent there
+  EXPECT_FALSE(disk.CorruptExtent("other-vol", 0));   // no such volume
+  EXPECT_NE(*disk.PeekChecksum("vol", 0), 1u);
+  EXPECT_EQ(*disk.PeekChecksum("vol", 4096), 2u);  // neighbor untouched
+}
+
 TEST(StorageGray, HealthyDiskIsExactlyUnchanged) {
   EventLoop loop;
   Machine m(loop, 1, "m", MachineParams{});
