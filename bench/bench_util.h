@@ -12,7 +12,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <memory>
 #include <string>
 #include <vector>
@@ -248,10 +250,13 @@ inline void EnableTracing() {
 
 inline void DisableTracing() { obs::Tracer::Global().set_enabled(false); }
 
-// Writes "<name>.obs.json" next to the binary: the full metrics registry and
-// (if any spans were recorded) the trace, machine-readable.
+// Writes "obs/<name>.obs.json" under the working directory: the full metrics
+// registry and (if any spans were recorded) the trace, machine-readable. The
+// obs/ directory is gitignored — these are run artifacts, not sources.
 inline void DumpObsJson(const std::string& name) {
-  const std::string path = name + ".obs.json";
+  std::error_code ec;
+  std::filesystem::create_directories("obs", ec);
+  const std::string path = "obs/" + name + ".obs.json";
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

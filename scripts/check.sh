@@ -34,3 +34,11 @@ CHEETAH_FIG21_SMOKE=1 "$builddir/bench/fig21_overload"
 # and that an injected bit-rot burst is fully repaired before its audit pass.
 CHEETAH_INTEGRITY_SEEDS=1,2 ctest --preset "$preset" -L integrity -j "$(nproc)"
 CHEETAH_SCRUB_SMOKE=1 "$builddir/bench/scrub_overhead"
+
+# EC/tiering tier: storage-class placement, demotion, degraded-read, and
+# demotion-race tests plus the EC chunk-loss chaos sweep (ctest label `ec`,
+# pinned seeds), then the storage-class frontier bench at reduced scale — it
+# asserts every cold object demotes, EC storage overhead stays <= 1.6x, and
+# the inline put path beats the replica put path on latency.
+CHEETAH_EC_SEEDS=1,2 ctest --preset "$preset" -L ec -j "$(nproc)"
+CHEETAH_EC_SMOKE=1 "$builddir/bench/ec_tradeoffs"

@@ -1,8 +1,10 @@
 #include "src/chaos/nemesis.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "src/common/random.h"
 
@@ -168,6 +170,75 @@ NemesisSchedule IntegrityChaos(uint64_t seed, int data_count, Nanos span) {
   });
   out.Add(hit + held, "restore data[" + std::to_string(victim) + "]",
           [victim](core::Testbed& bed) { bed.data_machine(victim).ClearGrayFailure(); });
+  return out;
+}
+
+NemesisSchedule EcChunkChaos(uint64_t seed, int data_count, Nanos span) {
+  Rng rng(seed ^ 0xecc0deull);
+  NemesisSchedule out;
+  // Helper: draw a machine index outside the already-claimed fault domains
+  // (falls back to overlapping when the cluster is too narrow to separate).
+  auto pick_outside = [&rng, data_count](std::vector<int> taken) {
+    std::vector<int> candidates;
+    for (int i = 0; i < data_count; ++i) {
+      if (std::find(taken.begin(), taken.end(), i) == taken.end()) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.empty()) {
+      return static_cast<int>(rng.Uniform(static_cast<uint64_t>(data_count)));
+    }
+    return candidates[rng.Uniform(candidates.size())];
+  };
+  // At-rest rot stays pinned to ONE machine for the whole run. Stripe carving
+  // places every chunk of an RS(k,m) LV on a distinct server, so one rotted
+  // domain damages at most one chunk per stripe — always reconstructible.
+  // Waves on independent machines could rot two chunks of the same stripe,
+  // which is real data loss for m=1, not a repair bug.
+  const int rotted = static_cast<int>(rng.Uniform(static_cast<uint64_t>(data_count)));
+  const int waves = 2 + static_cast<int>(rng.Uniform(3));
+  for (int w = 0; w < waves; ++w) {
+    const double rot_prob = 0.05 + 0.05 * static_cast<double>(rng.Uniform(4));
+    const double lse_prob = 0.02 + 0.02 * static_cast<double>(rng.Uniform(3));
+    const uint64_t wave_seed = rng.Next();
+    const Nanos hit = span / 6 + (w * span) / (2 * waves) + rng.Uniform(span / 12);
+    std::ostringstream d;
+    d << "bit-rot data[" << rotted << "] rot=" << rot_prob << " lse=" << lse_prob
+      << " wave_seed=" << wave_seed;
+    out.Add(hit, d.str(), [rotted, rot_prob, lse_prob, wave_seed](core::Testbed& bed) {
+      sim::Machine& m = bed.data_machine(rotted);
+      for (uint32_t di = 0; di < m.num_disks(); ++di) {
+        m.disk(di).InjectBitRot(rot_prob, wave_seed ^ di);
+        m.disk(di).InjectLatentSectorErrors(lse_prob, wave_seed ^ di);
+      }
+    });
+  }
+  // Whole-machine chunk loss: crash a second domain. Chunks there are only
+  // unavailable, not damaged — they come back intact on restart.
+  const int crashed = pick_outside({rotted});
+  const Nanos hit = span / 5 + rng.Uniform(span / 5);
+  const Nanos down = Millis(800) + rng.Uniform(Millis(500));
+  out.Add(hit, "crash data[" + std::to_string(crashed) + "]",
+          [crashed](core::Testbed& bed) { bed.CrashDataMachine(crashed, false); });
+  out.Add(hit + down, "restart data[" + std::to_string(crashed) + "]",
+          [crashed](core::Testbed& bed) { bed.RestartDataMachine(crashed); });
+  // Gray-corrupt a third domain: acked writes land flipped on media. The
+  // demotion read-back audit must catch these before a stripe goes live.
+  const int corrupter = pick_outside({rotted, crashed});
+  const double corrupt = 0.1 + 0.1 * static_cast<double>(rng.Uniform(3));
+  const Nanos ghit = span / 4 + rng.Uniform(span / 5);
+  const Nanos held = span / 5;
+  std::ostringstream d;
+  d << "gray-corrupt data[" << corrupter << "] write_corrupt=" << corrupt;
+  out.Add(ghit, d.str(), [corrupter, corrupt](core::Testbed& bed) {
+    sim::GrayFailure g;
+    g.write_corrupt_prob = corrupt;
+    bed.data_machine(corrupter).SetGrayFailure(g);
+  });
+  out.Add(ghit + held, "restore data[" + std::to_string(corrupter) + "]",
+          [corrupter](core::Testbed& bed) {
+            bed.data_machine(corrupter).ClearGrayFailure();
+          });
   return out;
 }
 

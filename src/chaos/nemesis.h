@@ -95,6 +95,14 @@ NemesisSchedule IntegrityChaos(uint64_t seed, int data_count, Nanos span);
 // Composition of the above picked by seed: crash + gray disk + lossy net.
 NemesisSchedule Combined(uint64_t seed, int meta_count, int data_count, Nanos span);
 
+// Erasure-coding battery over three disjoint fault domains: at-rest bit-rot
+// waves pinned to one data machine, a crash-restart of a second (its chunks
+// go dark mid-run, forcing degraded reads), and a gray-corrupting-writes
+// window on a third. Stripe chunks live on distinct servers, so at most one
+// chunk per stripe is ever damaged at rest — within m, always repairable —
+// while the crash adds transient unavailability on top.
+NemesisSchedule EcChunkChaos(uint64_t seed, int data_count, Nanos span);
+
 // The sweep's standard battery for a given seed.
 std::vector<NemesisSchedule> StandardSchedules(uint64_t seed, int meta_count,
                                                int data_count, Nanos span);

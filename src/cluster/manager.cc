@@ -102,6 +102,74 @@ sim::Task<Status> Manager::Bootstrap(BootstrapSpec spec) {
     }
   }
 
+  // Greedy replica-LV count for a hypothetical pool state: how many n-wide
+  // LVs (distinct servers) the remaining free PVs could still form. Used to
+  // keep EC stripe carving from starving the replica tier below pg_count.
+  auto replica_lvs_formable = [&spec](std::map<sim::NodeId, std::vector<PvId>> pool) {
+    uint32_t count = 0;
+    for (;;) {
+      std::vector<sim::NodeId> candidates;
+      for (auto& [ds, list] : pool) {
+        if (!list.empty()) {
+          candidates.push_back(ds);
+        }
+      }
+      if (candidates.size() < spec.replication) {
+        return count;
+      }
+      std::sort(candidates.begin(), candidates.end(), [&](sim::NodeId a, sim::NodeId b) {
+        return pool[a].size() > pool[b].size();
+      });
+      for (uint32_t r = 0; r < spec.replication; ++r) {
+        pool[candidates[r]].pop_back();
+      }
+      ++count;
+    }
+  };
+
+  // EC stripe LVs first (src/tier): width k+m, spread across as many distinct
+  // servers as exist (PVs on the same server repeat only when the cluster is
+  // narrower than the stripe). Stripes stop as soon as carving one more would
+  // leave the replica tier unable to cover every PG.
+  const uint32_t stripe_width = spec.ec_k > 0 ? spec.ec_k + spec.ec_m : 0;
+  for (uint32_t s = 0; stripe_width > 0 && s < spec.pg_count; ++s) {
+    auto pool = free_pvs;
+    LogicalVolume lv;
+    lv.id = next_lv_id_;
+    lv.ec_stripe = true;
+    lv.capacity_bytes = spec.lv_capacity_bytes;
+    lv.block_size = spec.block_size;
+    while (lv.replicas.size() < stripe_width) {
+      std::vector<sim::NodeId> candidates;
+      for (auto& [ds, list] : pool) {
+        if (!list.empty()) {
+          candidates.push_back(ds);
+        }
+      }
+      if (candidates.empty()) {
+        break;
+      }
+      std::sort(candidates.begin(), candidates.end(), [&](sim::NodeId a, sim::NodeId b) {
+        return pool[a].size() > pool[b].size();
+      });
+      for (sim::NodeId ds : candidates) {
+        if (lv.replicas.size() == stripe_width) {
+          break;
+        }
+        lv.replicas.push_back(pool[ds].back());
+        pool[ds].pop_back();
+      }
+    }
+    if (lv.replicas.size() < stripe_width ||
+        replica_lvs_formable(pool) < spec.pg_count) {
+      break;
+    }
+    ++next_lv_id_;
+    free_pvs = std::move(pool);
+    map.ec_vgs[s % spec.pg_count].push_back(lv.id);
+    map.lvs[lv.id] = std::move(lv);
+  }
+
   // Group into logical volumes: n replicas on n distinct data servers.
   for (;;) {
     std::vector<sim::NodeId> candidates;
@@ -131,17 +199,25 @@ sim::Task<Status> Manager::Bootstrap(BootstrapSpec spec) {
 
   // Every PG needs at least one logical volume in its VG, or its objects
   // would have nowhere to live (VGs are exclusive to their PG, §4.2).
-  if (map.lvs.size() < map.pg_count) {
+  size_t replica_lvs = 0;
+  for (const auto& [id, lv] : map.lvs) {
+    replica_lvs += lv.ec_stripe ? 0 : 1;
+  }
+  if (replica_lvs < map.pg_count) {
     co_return Status::InvalidArgument(
         "bootstrap needs at least pg_count logical volumes (" +
-        std::to_string(map.lvs.size()) + " < " + std::to_string(map.pg_count) + ")");
+        std::to_string(replica_lvs) + " < " + std::to_string(map.pg_count) + ")");
   }
-  // Assign logical volumes to VGs round-robin; every PG gets a VG entry.
+  // Assign replica logical volumes to VGs round-robin; every PG gets a VG
+  // entry. EC stripe LVs were already assigned to ec_vgs above.
   for (PgId pg = 0; pg < map.pg_count; ++pg) {
     map.vgs[pg] = {};
   }
   PgId pg = 0;
   for (const auto& [id, lv] : map.lvs) {
+    if (lv.ec_stripe) {
+      continue;
+    }
     map.vgs[pg % map.pg_count].push_back(id);
     ++pg;
   }

@@ -48,6 +48,11 @@ struct BootstrapSpec {
   uint64_t pv_capacity_bytes = 0;  // derived from lv capacity below if 0
   uint64_t lv_capacity_bytes = GiB(1);
   uint32_t block_size = 4096;
+  // EC tier geometry (src/tier): when ec_k > 0, Bootstrap also carves up to
+  // pg_count stripe LVs of width ec_k + ec_m (assigned to ec_vgs round-robin)
+  // before grouping the replica LVs.
+  uint32_t ec_k = 0;
+  uint32_t ec_m = 0;
 };
 
 class Manager {

@@ -57,11 +57,20 @@ std::string TopologyMap::Serialize() const {
       PutVarint64(&body, pv);
     }
     body.push_back(lv.writable ? 1 : 0);
+    body.push_back(lv.ec_stripe ? 1 : 0);
     PutVarint64(&body, lv.capacity_bytes);
     PutVarint64(&body, lv.block_size);
   }
   PutVarint64(&body, vgs.size());
   for (const auto& [pg, lv_list] : vgs) {
+    PutVarint64(&body, pg);
+    PutVarint64(&body, lv_list.size());
+    for (LvId lv : lv_list) {
+      PutVarint64(&body, lv);
+    }
+  }
+  PutVarint64(&body, ec_vgs.size());
+  for (const auto& [pg, lv_list] : ec_vgs) {
     PutVarint64(&body, pg);
     PutVarint64(&body, lv_list.size());
     for (LvId lv : lv_list) {
@@ -127,10 +136,12 @@ Result<TopologyMap> TopologyMap::Deserialize(std::string_view data) {
       RETURN_IF_ERROR(need(GetVarint64(&data, &v)));
       lv.replicas.push_back(static_cast<PvId>(v));
     }
-    if (data.empty()) {
+    if (data.size() < 2) {
       return Status::Corruption("topology lv flags");
     }
     lv.writable = data.front() != 0;
+    data.remove_prefix(1);
+    lv.ec_stripe = data.front() != 0;
     data.remove_prefix(1);
     RETURN_IF_ERROR(need(GetVarint64(&data, &lv.capacity_bytes)));
     RETURN_IF_ERROR(need(GetVarint64(&data, &v)));
@@ -147,6 +158,16 @@ Result<TopologyMap> TopologyMap::Deserialize(std::string_view data) {
       list.push_back(static_cast<LvId>(v));
     }
   }
+  RETURN_IF_ERROR(need(GetVarint64(&data, &n)));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t pg = 0, count = 0;
+    RETURN_IF_ERROR(need(GetVarint64(&data, &pg) && GetVarint64(&data, &count)));
+    std::vector<LvId>& list = map.ec_vgs[static_cast<PgId>(pg)];
+    for (uint64_t c = 0; c < count; ++c) {
+      RETURN_IF_ERROR(need(GetVarint64(&data, &v)));
+      list.push_back(static_cast<LvId>(v));
+    }
+  }
   return map;
 }
 
@@ -155,7 +176,8 @@ bool TopologyMap::SameShape(const TopologyMap& other) const {
          replication == other.replication &&
          meta_crush.items().size() == other.meta_crush.items().size() &&
          data_servers == other.data_servers && pvs.size() == other.pvs.size() &&
-         lvs.size() == other.lvs.size() && vgs.size() == other.vgs.size();
+         lvs.size() == other.lvs.size() && vgs.size() == other.vgs.size() &&
+         ec_vgs.size() == other.ec_vgs.size();
 }
 
 }  // namespace cheetah::cluster

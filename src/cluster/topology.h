@@ -42,6 +42,11 @@ struct LogicalVolume {
   bool writable = true;
   uint64_t capacity_bytes = 0;
   uint32_t block_size = 4096;
+  // EC stripe LV (src/tier): `replicas` holds K+M physical volumes that each
+  // store a *different* Reed-Solomon chunk at the same extent offsets, so one
+  // allocation of shard-sized extents reserves the range on the whole stripe.
+  // capacity_bytes is the per-chunk (per-PV) capacity.
+  bool ec_stripe = false;
 
   uint64_t TotalBlocks() const { return capacity_bytes / block_size; }
 };
@@ -58,6 +63,10 @@ struct TopologyMap {
   std::map<PvId, PhysicalVolume> pvs;
   std::map<LvId, LogicalVolume> lvs;
   std::map<PgId, std::vector<LvId>> vgs;  // each PG's volume group
+  // Each PG's pool of EC stripe LVs, disjoint from `vgs` so replica
+  // allocation never lands on a stripe (and vice versa). Empty when the EC
+  // tier is disabled.
+  std::map<PgId, std::vector<LvId>> ec_vgs;
 
   // --- derived lookups ---
   PgId PgOf(std::string_view object_name) const {

@@ -7,6 +7,7 @@
 #include "src/obs/trace.h"
 #include "src/qos/qos.h"
 #include "src/sim/actor.h"
+#include "src/tier/striper.h"
 
 namespace cheetah::core {
 
@@ -22,7 +23,10 @@ ClientProxy::ClientProxy(rpc::Node& rpc, CheetahOptions options,
                 scope_.counter("deletes"), scope_.counter("retries"),
                 scope_.counter("failures"), scope_.counter("cache_hits"),
                 scope_.counter("corrupt_replica_reads"),
-                scope_.counter("read_repairs")} {}
+                scope_.counter("read_repairs"),
+                scope_.counter("inline_puts"),
+                scope_.counter("ec_degraded_reads"),
+                scope_.counter("ec_chunk_repairs")} {}
 
 ClientProxy::MetaWindow& ClientProxy::WindowFor(sim::NodeId dst) {
   auto it = windows_.find(dst);
@@ -202,6 +206,15 @@ sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::st
   alloc.proxy_node = rpc_.id();
   alloc.re_meta = re_meta;
   alloc.re_data = re_data;
+  // Small objects ride inside the MetaX record itself: one round trip to the
+  // meta primary, no data-server writes at all. The primary decides (it may
+  // decline, e.g. during recovery), so the reply's inline_stored flag — not
+  // the request hint — gates the data fan-out below.
+  if (options_.tier.inline_threshold > 0 &&
+      data.size() <= options_.tier.inline_threshold) {
+    alloc.is_inline = true;
+    alloc.inline_data = data;
+  }
   auto reply = co_await CallMeta(primary, std::move(alloc));
   if (!reply.ok()) {
     persist_waits_.erase(reqid);
@@ -217,15 +230,19 @@ sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::st
     persist_waits_.erase(reqid);
     co_return Status::Ok();
   }
-  const cluster::LogicalVolume* lv = topo_.FindLv(reply->lvid);
-  if (lv == nullptr) {
-    persist_waits_.erase(reqid);
-    co_return Status::StaleView("allocated volume unknown to this proxy");
-  }
-  Status ws = co_await WriteDataReplicas(*lv, reply->extents, data, checksum);
-  if (!ws.ok()) {
-    persist_waits_.erase(reqid);
-    co_return Status::IoError("data write failed: " + ws.ToString());
+  if (!reply->inline_stored) {
+    const cluster::LogicalVolume* lv = topo_.FindLv(reply->lvid);
+    if (lv == nullptr) {
+      persist_waits_.erase(reqid);
+      co_return Status::StaleView("allocated volume unknown to this proxy");
+    }
+    Status ws = co_await WriteDataReplicas(*lv, reply->extents, data, checksum);
+    if (!ws.ok()) {
+      persist_waits_.erase(reqid);
+      co_return Status::IoError("data write failed: " + ws.ToString());
+    }
+  } else {
+    counters_.inline_puts->Add();
   }
 
   // Wait for the MetaX-persisted ack (already satisfied in Cheetah-OW). The
@@ -256,8 +273,13 @@ sim::Task<Status> ClientProxy::PutAttempt(const std::string& name, const std::st
 
   if (options_.enable_read_cache) {
     ObMeta cached;
-    cached.lvid = reply->lvid;
-    cached.extents = reply->extents;
+    if (reply->inline_stored) {
+      cached.storage_class = StorageClass::kInline;
+      cached.inline_data = data;
+    } else {
+      cached.lvid = reply->lvid;
+      cached.extents = reply->extents;
+    }
     cached.checksum = checksum;
     cached.size = data.size();
     meta_cache_[name] = std::move(cached);
@@ -413,6 +435,16 @@ sim::Task<Result<std::string>> ClientProxy::GetImpl(std::string name) {
 }
 
 sim::Task<Result<std::string>> ClientProxy::ReadData(const ObMeta& meta, bool verify) {
+  if (meta.storage_class == StorageClass::kInline) {
+    // The payload rode inside the MetaX record; nothing on the data plane.
+    if (verify && Crc32c(meta.inline_data) != meta.checksum) {
+      co_return Status::Corruption("inline payload checksum mismatch");
+    }
+    co_return meta.inline_data;
+  }
+  if (meta.storage_class == StorageClass::kEc) {
+    co_return co_await ReadEcData(meta);
+  }
   const cluster::LogicalVolume* lv = topo_.FindLv(meta.lvid);
   if (lv == nullptr) {
     co_return Status::StaleView("volume unknown");
@@ -471,6 +503,178 @@ sim::Task<Result<std::string>> ClientProxy::ReadData(const ObMeta& meta, bool ve
     co_return std::move(r->data);
   }
   co_return Status::Unavailable("no data replica answered");
+}
+
+sim::Task<Result<std::string>> ClientProxy::ReadEcData(const ObMeta& meta) {
+  const uint32_t k = meta.ec_k;
+  const uint32_t m = meta.ec_m;
+  // Everything the chunk I/O needs, copied out of the topology before the
+  // first co_await (same dangling-pointer hazard as ReadData).
+  struct ChunkTarget {
+    std::string device;
+    uint32_t disk_index = 0;
+    sim::NodeId node = sim::kInvalidNode;
+  };
+  std::vector<ChunkTarget> targets;
+  uint32_t block_size = 4096;
+  {
+    const cluster::LogicalVolume* lv = topo_.FindLv(meta.lvid);
+    if (lv == nullptr) {
+      co_return Status::StaleView("stripe volume unknown");
+    }
+    if (k == 0 || lv->replicas.size() != static_cast<size_t>(k) + m ||
+        meta.chunk_crcs.size() != lv->replicas.size()) {
+      co_return Status::Corruption("inconsistent EC stripe metadata");
+    }
+    block_size = lv->block_size;
+    for (cluster::PvId pv_id : lv->replicas) {
+      const cluster::PhysicalVolume* pv = topo_.FindPv(pv_id);
+      if (pv == nullptr) {
+        co_return Status::StaleView("stripe member volume unknown");
+      }
+      targets.push_back(ChunkTarget{pv->DeviceName(), pv->disk_index, pv->data_server});
+    }
+  }
+  const uint64_t shard_bytes = tier::ShardBytes(meta.size, k);
+
+  struct StripeState {
+    std::vector<std::optional<std::string>> chunks;  // verified survivors
+    std::vector<char> damaged;  // positive evidence of damage, per chunk
+  };
+  auto st = std::make_shared<StripeState>();
+  st->chunks.resize(targets.size());
+  st->damaged.assign(targets.size(), 0);
+
+  // Fast path: the k data chunks in parallel. The code is systematic, so
+  // their concatenation (minus padding) is the object — no decode needed.
+  std::vector<sim::Task<>> reads;
+  for (uint32_t j = 0; j < k; ++j) {
+    reads.push_back([](ClientProxy* self, ChunkTarget t, size_t j,
+                       uint32_t block_size, std::vector<alloc::Extent> extents,
+                       uint64_t shard_bytes, uint32_t crc,
+                       std::shared_ptr<StripeState> st) -> sim::Task<> {
+      DataReadRequest read;
+      read.device = t.device;
+      read.disk_index = t.disk_index;
+      read.block_size = block_size;
+      read.extents = std::move(extents);
+      read.length = shard_bytes;
+      read.verify = true;
+      read.expected_checksum = crc;
+      auto r = co_await self->rpc_.Call(t.node, std::move(read), self->options_.rpc_timeout);
+      if (!r.ok()) {
+        if (r.status().IsTimeout()) {
+          self->ReportSuspect(t.node);
+        }
+        if (r.status().code() == ErrorCode::kCorruption ||
+            r.status().code() == ErrorCode::kIoError) {
+          self->counters_.corrupt_replica_reads->Add();
+          st->damaged[j] = 1;
+        }
+        co_return;
+      }
+      const uint32_t got = r->content_valid ? Crc32c(r->data) : r->checksum;
+      if (got != crc) {
+        self->counters_.corrupt_replica_reads->Add();
+        st->damaged[j] = 1;
+        co_return;
+      }
+      st->chunks[j] = std::move(r->data);
+    }(this, targets[j], j, block_size, meta.extents, shard_bytes,
+      meta.chunk_crcs[j], st));
+  }
+  co_await sim::WhenAllVoid(std::move(reads));
+
+  size_t have = 0;
+  for (uint32_t j = 0; j < k; ++j) {
+    have += st->chunks[j].has_value() ? 1 : 0;
+  }
+  if (have == k) {
+    std::string data;
+    data.reserve(static_cast<size_t>(shard_bytes) * k);
+    for (uint32_t j = 0; j < k; ++j) {
+      data += *st->chunks[j];
+    }
+    data.resize(meta.size);
+    co_return data;
+  }
+
+  // Degraded: pull parity chunks until any k survive, then decode. Parity is
+  // fetched one at a time — the fast path already has most of the stripe, and
+  // the sequential tail keeps parity traffic off healthy gets entirely.
+  for (size_t j = k; j < targets.size() && have < k; ++j) {
+    DataReadRequest read;
+    read.device = targets[j].device;
+    read.disk_index = targets[j].disk_index;
+    read.block_size = block_size;
+    read.extents = meta.extents;
+    read.length = shard_bytes;
+    read.verify = true;
+    read.expected_checksum = meta.chunk_crcs[j];
+    auto r = co_await rpc_.Call(targets[j].node, std::move(read), options_.rpc_timeout);
+    if (!r.ok()) {
+      if (r.status().IsTimeout()) {
+        ReportSuspect(targets[j].node);
+      }
+      if (r.status().code() == ErrorCode::kCorruption ||
+          r.status().code() == ErrorCode::kIoError) {
+        counters_.corrupt_replica_reads->Add();
+        st->damaged[j] = 1;
+      }
+      continue;
+    }
+    const uint32_t got = r->content_valid ? Crc32c(r->data) : r->checksum;
+    if (got != meta.chunk_crcs[j]) {
+      counters_.corrupt_replica_reads->Add();
+      st->damaged[j] = 1;
+      continue;
+    }
+    st->chunks[j] = std::move(r->data);
+    ++have;
+  }
+  if (have < static_cast<size_t>(k)) {
+    co_return Status::Unavailable("stripe lost more than m chunks");
+  }
+  auto decoded = tier::DecodeChunks(st->chunks, k, m, meta.size);
+  if (!decoded.ok()) {
+    co_return decoded.status();
+  }
+  counters_.ec_degraded_reads->Add();
+
+  if (options_.enable_read_repair) {
+    // Fire-and-forget reconstruction repair of the positively-damaged chunks
+    // (maintenance class, same rationale as SpawnReadRepair). A rebuilt chunk
+    // is written back only if its bytes match the CRC recorded in MetaX — a
+    // reconstruction racing a demotion swap can never plant garbage.
+    rpc_.machine().actor().Spawn([](ClientProxy* self, ObMeta meta,
+                                    uint32_t block_size,
+                                    std::vector<ChunkTarget> targets,
+                                    std::shared_ptr<StripeState> st) -> sim::Task<> {
+      auto rebuilt = tier::ReconstructChunks(st->chunks, meta.ec_k, meta.ec_m);
+      if (!rebuilt.ok()) {
+        co_return;
+      }
+      for (size_t j = 0; j < targets.size(); ++j) {
+        if (!st->damaged[j] || Crc32c((*rebuilt)[j]) != meta.chunk_crcs[j]) {
+          continue;
+        }
+        RepairWriteRequest write;
+        write.view = self->topo_.view;
+        write.device = targets[j].device;
+        write.disk_index = targets[j].disk_index;
+        write.block_size = block_size;
+        write.extents = meta.extents;
+        write.data = (*rebuilt)[j];
+        write.checksum = meta.chunk_crcs[j];
+        auto w = co_await self->rpc_.Call(targets[j].node, std::move(write),
+                                          self->options_.rpc_timeout);
+        if (w.ok()) {
+          self->counters_.ec_chunk_repairs->Add();
+        }
+      }
+    }(this, meta, block_size, std::move(targets), st));
+  }
+  co_return std::move(*decoded);
 }
 
 void ClientProxy::SpawnReadRepair(const ObMeta& meta, uint32_t block_size,

@@ -56,13 +56,19 @@ class ClientProxy {
     uint64_t cache_hits = 0;
     uint64_t corrupt_replica_reads = 0;  // replicas rejected by verification
     uint64_t read_repairs = 0;           // damaged replicas rewritten
+    uint64_t inline_puts = 0;            // objects stored in the MetaX record
+    uint64_t ec_degraded_reads = 0;      // EC gets that needed reconstruction
+    uint64_t ec_chunk_repairs = 0;       // stripe chunks rewritten after a get
   };
   Stats stats() const {
     return Stats{counters_.puts->value(),    counters_.gets->value(),
                  counters_.deletes->value(), counters_.retries->value(),
                  counters_.failures->value(), counters_.cache_hits->value(),
                  counters_.corrupt_replica_reads->value(),
-                 counters_.read_repairs->value()};
+                 counters_.read_repairs->value(),
+                 counters_.inline_puts->value(),
+                 counters_.ec_degraded_reads->value(),
+                 counters_.ec_chunk_repairs->value()};
   }
 
   uint64_t view() const { return topo_.view; }
@@ -118,6 +124,10 @@ class ClientProxy {
                                       const std::vector<alloc::Extent>& extents,
                                       const std::string& data, uint32_t checksum);
   sim::Task<Result<std::string>> ReadData(const ObMeta& meta, bool verify);
+  // EC stripe read: verified reads of the k data chunks (systematic layout);
+  // on damage, pulls parity and reconstructs from any k of k+m. Degraded
+  // successes fire-and-forget a rewrite of the damaged chunks.
+  sim::Task<Result<std::string>> ReadEcData(const ObMeta& meta);
 
   // A replica that positively failed verification (server-side kCorruption /
   // kIoError or client-side checksum mismatch) — everything a repair write
@@ -168,6 +178,9 @@ class ClientProxy {
     obs::Counter* cache_hits;
     obs::Counter* corrupt_replica_reads;
     obs::Counter* read_repairs;
+    obs::Counter* inline_puts;
+    obs::Counter* ec_degraded_reads;
+    obs::Counter* ec_chunk_repairs;
   } counters_;
 };
 

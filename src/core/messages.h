@@ -31,6 +31,9 @@ struct PutAllocReply {
   // The op's effect already happened and was settled by a later delete — the
   // proxy reports success without writing data (there is nowhere to write).
   bool already_done = false;
+  // Inline placement accepted: the payload rode in with the request and now
+  // lives in the MetaX triple — the proxy skips the data plane entirely.
+  bool inline_stored = false;
   size_t wire_size() const { return 40 + extents.size() * 16; }
 };
 struct PutAllocRequest {
@@ -45,7 +48,11 @@ struct PutAllocRequest {
   sim::NodeId proxy_node = sim::kInvalidNode;
   bool re_meta = false;  // §5.3: resend after meta server recovery
   bool re_data = false;  // §5.3: reallocate after data server failure
-  size_t wire_size() const { return 64 + name.size(); }
+  // Inline placement (src/tier): the payload itself rides in the alloc
+  // request so the put completes in one metadata round trip.
+  bool is_inline = false;
+  std::string inline_data;
+  size_t wire_size() const { return 64 + name.size() + inline_data.size(); }
 };
 
 // ---- meta -> proxy: MetaX persisted on all n meta servers (Fig. 4 (3)) ----
@@ -80,7 +87,10 @@ struct PutCommitNotify {
 struct GetMetaReply {
   GetMetaReply() = default;
   ObMeta meta;
-  size_t wire_size() const { return 48 + meta.extents.size() * 16; }
+  size_t wire_size() const {
+    return 48 + meta.extents.size() * 16 + meta.inline_data.size() +
+           meta.chunk_crcs.size() * 4;
+  }
 };
 struct GetMetaRequest {
   using Response = GetMetaReply;

@@ -9,6 +9,8 @@
 #include "src/qos/qos.h"
 #include "src/sim/actor.h"
 #include "src/sim/sync.h"
+#include "src/tier/engine.h"
+#include "src/tier/policy.h"
 
 namespace cheetah::core {
 
@@ -36,6 +38,7 @@ MetaServer::MetaServer(rpc::Node& rpc, CheetahOptions options,
                 scope_.counter("logs_cleaned"),
                 scope_.counter("migrated_objects")} {
   scrubber_ = std::make_unique<Scrubber>(*this, rpc_, options_);
+  tier_ = std::make_unique<tier::TierEngine>(*this, rpc_, options_);
 }
 
 MetaServer::~MetaServer() = default;
@@ -108,6 +111,9 @@ sim::Task<> MetaServer::Init() {
   if (options_.scrub_interval > 0) {
     rpc_.machine().actor().Spawn(scrubber_->Loop());
   }
+  if (options_.tier.tier_scan_interval > 0 && options_.tier.ec_k > 0) {
+    rpc_.machine().actor().Spawn(tier_->Loop());
+  }
 }
 
 bool MetaServer::HasLease() const {
@@ -151,6 +157,9 @@ std::vector<cluster::LvId> MetaServer::EffectiveVg(cluster::PgId pg) const {
   }
   std::vector<std::pair<uint64_t, cluster::LvId>> shuffled;
   for (const auto& [id, lv] : topo_.lvs) {
+    if (lv.ec_stripe) {
+      continue;  // stripe LVs never serve replica allocations
+    }
     shuffled.emplace_back(Mix64(id * 0x9e3779b97f4a7c15ull ^ meta_seed), id);
   }
   std::sort(shuffled.begin(), shuffled.end());
@@ -206,12 +215,49 @@ Result<std::pair<cluster::LvId, std::vector<alloc::Extent>>> MetaServer::Allocat
   return Status::ResourceExhausted("no writable volume can fit the object");
 }
 
+Result<std::pair<cluster::LvId, std::vector<alloc::Extent>>> MetaServer::AllocateEcStripe(
+    cluster::PgId pg, uint64_t chunk_bytes) {
+  auto it = topo_.ec_vgs.find(pg);
+  if (it == topo_.ec_vgs.end() || it->second.empty()) {
+    return Status::ResourceExhausted("pg has no ec stripe volumes");
+  }
+  std::vector<cluster::LvId> candidates = it->second;
+  std::sort(candidates.begin(), candidates.end(),
+            [this](cluster::LvId a, cluster::LvId b) {
+              auto* aa = allocators_.find(a) != allocators_.end() ? &allocators_.at(a) : nullptr;
+              auto* bb = allocators_.find(b) != allocators_.end() ? &allocators_.at(b) : nullptr;
+              const uint64_t fa = aa ? aa->free_blocks() : ~0ull;
+              const uint64_t fb = bb ? bb->free_blocks() : ~0ull;
+              return fa > fb;
+            });
+  for (cluster::LvId lv_id : candidates) {
+    const cluster::LogicalVolume* lv = topo_.FindLv(lv_id);
+    if (lv == nullptr || !lv->writable || !lv->ec_stripe) {
+      continue;
+    }
+    alloc::BitmapAllocator* allocator = AllocatorFor(lv_id);
+    if (allocator == nullptr) {
+      continue;
+    }
+    auto extents = allocator->Allocate(chunk_bytes);
+    if (extents.ok()) {
+      return std::make_pair(lv_id, std::move(*extents));
+    }
+  }
+  return Status::ResourceExhausted("no ec stripe can fit the chunk");
+}
+
 // ---- put ----
 
 sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
                                                             PutAllocRequest req) {
   const cluster::PgId pg = topo_.pg_count ? topo_.PgOf(req.name) : 0;
   CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
+  if (tiering_names_.contains(req.name)) {
+    // Mid-demotion metadata swap (src/tier): bounce for the one persist
+    // round the swap takes; the proxy's retry loop absorbs it.
+    co_return Status::Unavailable("object is moving between storage classes");
+  }
   counters_.put_allocs->Add();
 
   // A retry may be chasing a put whose effect already came AND went: the
@@ -232,7 +278,7 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
   if (auto it = pending_names_.find(req.name); it != pending_names_.end()) {
     PendingPut& p = pending_[it->second];
     if (p.reqid == req.reqid) {
-      if (req.re_data) {
+      if (req.re_data && p.meta.storage_class != StorageClass::kInline) {
         // §5.3 RE-DATA: atomically pick a new volume and revoke the old
         // allocation on the problematic one. Allocate before freeing: if no
         // volume can fit the object the put must be revoked outright —
@@ -267,6 +313,7 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
       reply.extents = p.meta.extents;
       reply.opseq = p.opseq;
       reply.persisted = true;
+      reply.inline_stored = p.meta.storage_class == StorageClass::kInline;
       if (!ps.ok()) {
         co_return ps;
       }
@@ -296,6 +343,7 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
           reply.lvid = meta->lvid;
           reply.extents = meta->extents;
           reply.persisted = true;
+          reply.inline_stored = meta->storage_class == StorageClass::kInline;
           co_return reply;
         }
       }
@@ -303,9 +351,17 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
     }
   }
 
-  auto alloc = AllocateSpace(pg, req.size);
-  if (!alloc.ok()) {
-    co_return alloc.status();
+  // Inline placement (src/tier): the payload lives in the ObMeta record
+  // itself — no allocation, no data servers, and the put is complete once
+  // the MetaX triple persists.
+  const bool inline_put = req.is_inline && req.inline_data.size() == req.size;
+  std::pair<cluster::LvId, std::vector<alloc::Extent>> placement;
+  if (!inline_put) {
+    auto alloc = AllocateSpace(pg, req.size);
+    if (!alloc.ok()) {
+      co_return alloc.status();
+    }
+    placement = std::move(*alloc);
   }
   const uint64_t opseq = ++pg_opseq_[pg];
 
@@ -316,12 +372,18 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
   p.opseq = opseq;
   p.proxy_id = req.proxy_id;
   p.proxy_node = req.proxy_node;
-  p.meta.lvid = alloc->first;
-  p.meta.extents = std::move(alloc->second);
+  if (inline_put) {
+    p.meta.storage_class = StorageClass::kInline;
+    p.meta.inline_data = std::move(req.inline_data);
+  } else {
+    p.meta.lvid = placement.first;
+    p.meta.extents = std::move(placement.second);
+  }
   p.meta.checksum = req.checksum;
   p.meta.size = req.size;
   p.meta.proxy_id = req.proxy_id;
   p.meta.reqid = req.reqid;
+  p.meta.born_ns = static_cast<uint64_t>(rpc_.machine().loop().Now());
   p.born = rpc_.machine().loop().Now();
 
   std::vector<std::pair<std::string, std::string>> puts;
@@ -341,6 +403,7 @@ sim::Task<Result<PutAllocReply>> MetaServer::HandlePutAlloc(sim::NodeId src,
   reply.lvid = p.meta.lvid;
   reply.extents = p.meta.extents;
   reply.opseq = opseq;
+  reply.inline_stored = inline_put;
 
   pending_[req.reqid] = p;
   pending_names_[req.name] = req.reqid;
@@ -479,6 +542,8 @@ sim::Task<Result<GetMetaReply>> MetaServer::HandleGet(sim::NodeId src, GetMetaRe
   if (!meta.ok()) {
     co_return meta.status();
   }
+  // Access recency feeds the demotion policy: a get keeps the object hot.
+  last_access_[req.name] = rpc_.machine().loop().Now();
   GetMetaReply reply;
   reply.meta = std::move(*meta);
   co_return reply;
@@ -514,6 +579,16 @@ sim::Task<Status> MetaServer::VerifyPending(ReqId reqid) {
       p.meta = std::move(*meta);
       it->second.meta = p.meta;
     }
+  }
+  if (p.meta.storage_class == StorageClass::kInline) {
+    // The payload IS the (already persisted and replicated) MetaX record:
+    // there is nothing on the data plane to probe.
+    if (auto pit = pending_.find(reqid); pit != pending_.end()) {
+      pit->second.committed = true;
+      pending_names_.erase(pit->second.name);
+    }
+    counters_.completed_puts->Add();
+    co_return Status::Ok();
   }
   const cluster::LogicalVolume* lv = topo_.FindLv(p.meta.lvid);
   if (lv == nullptr) {
@@ -634,6 +709,11 @@ sim::Task<> MetaServer::DiscardData(const ObMeta& meta) {
 sim::Task<Result<DeleteReply>> MetaServer::HandleDelete(sim::NodeId src, DeleteRequest req) {
   const cluster::PgId pg = topo_.pg_count ? topo_.PgOf(req.name) : 0;
   CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
+  if (tiering_names_.contains(req.name)) {
+    // Mid-demotion metadata swap (src/tier): bounce for the one persist
+    // round the swap takes; the proxy's retry loop absorbs it.
+    co_return Status::Unavailable("object is moving between storage classes");
+  }
   // Idempotency: a delete whose first attempt landed but whose ack was lost
   // must not take effect twice — by the time the retry arrives the name may
   // have been recreated, and deleting *that* object would erase an acked put
@@ -690,6 +770,7 @@ sim::Task<Result<DeleteReply>> MetaServer::HandleDelete(sim::NodeId src, DeleteR
   // The in-memory bitmap is updated now (space immediately reusable); the
   // on-disk copy syncs with the next log-clean cycle (§5.2).
   dirty_bitmaps_.insert(meta->lvid);
+  last_access_.erase(req.name);
   co_await DiscardData(*meta);
   co_return DeleteReply{};
 }
@@ -905,6 +986,11 @@ sim::Task<> MetaServer::AdoptTopology(cluster::TopologyMap next) {
         for (cluster::LvId lv : EffectiveVg(pg)) {
           managed.insert(lv);
         }
+        if (auto it = topo_.ec_vgs.find(pg); it != topo_.ec_vgs.end()) {
+          for (cluster::LvId lv : it->second) {
+            managed.insert(lv);
+          }
+        }
       }
     }
     for (auto it = allocators_.begin(); it != allocators_.end();) {
@@ -933,6 +1019,15 @@ sim::Task<> MetaServer::RebuildPgState(cluster::PgId pg) {
     allocators_.erase(lv);
     (void)AllocatorFor(lv);
     my_lvs.insert(lv);
+  }
+  // The PG's EC stripe LVs are rebuilt the same way: demoted objects record
+  // stripe extents in their ObMeta, so the scan below re-marks them.
+  if (auto it = topo_.ec_vgs.find(pg); it != topo_.ec_vgs.end()) {
+    for (cluster::LvId lv : it->second) {
+      allocators_.erase(lv);
+      (void)AllocatorFor(lv);
+      my_lvs.insert(lv);
+    }
   }
   // With VGs a volume's extents are all recorded under its one PG. Without
   // them (Cheetah-NoVG) another PG's not-yet-migrated objects may still live
@@ -1138,6 +1233,8 @@ sim::Task<> MetaServer::HeartbeatLoop() {
 }
 
 sim::Task<> MetaServer::ScrubNow() { return scrubber_->ScrubAll(); }
+
+sim::Task<> MetaServer::TierNow() { return tier_->TierAll(); }
 
 sim::Task<> MetaServer::CleanerLoop() {
   for (;;) {

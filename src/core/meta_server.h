@@ -35,6 +35,10 @@
 #include "src/obs/metrics.h"
 #include "src/rpc/node.h"
 
+namespace cheetah::tier {
+class TierEngine;
+}  // namespace cheetah::tier
+
 namespace cheetah::core {
 
 class Scrubber;
@@ -43,7 +47,7 @@ class MetaServer {
  public:
   MetaServer(rpc::Node& rpc, CheetahOptions options,
              std::vector<sim::NodeId> manager_nodes, uint64_t seed);
-  ~MetaServer();  // out of line: scrubber_ owns an incomplete type here
+  ~MetaServer();  // out of line: scrubber_/tier_ own incomplete types here
 
   // Registers handlers and spawns init/heartbeat/cleaner loops.
   void Start();
@@ -81,9 +85,14 @@ class MetaServer {
   // options.scrub_interval > 0). Delegates to the Scrubber.
   sim::Task<> ScrubNow();
   Scrubber& scrubber() { return *scrubber_; }
+  // Runs one tiering (demotion) pass immediately (also runs periodically if
+  // options.tier.tier_scan_interval > 0). Delegates to the TierEngine.
+  sim::Task<> TierNow();
+  tier::TierEngine& tier_engine() { return *tier_; }
 
  private:
   friend class Scrubber;  // reads db_/topo_/ready_pgs_/pending_names_
+  friend class tier::TierEngine;  // drives demotion through private state
   struct PendingPut {
     ReqId reqid = 0;
     std::string name;
@@ -116,6 +125,10 @@ class MetaServer {
   alloc::BitmapAllocator* AllocatorFor(cluster::LvId lv);
   Result<std::pair<cluster::LvId, std::vector<alloc::Extent>>> AllocateSpace(
       cluster::PgId pg, uint64_t bytes);
+  // Allocates `chunk_bytes` of extents on one of the PG's EC stripe LVs; the
+  // one allocation reserves the same extent range on all k+m stripe PVs.
+  Result<std::pair<cluster::LvId, std::vector<alloc::Extent>>> AllocateEcStripe(
+      cluster::PgId pg, uint64_t chunk_bytes);
 
   // Persists the batch locally and on all backups in parallel; returns OK
   // only if every replica persisted.
@@ -157,8 +170,14 @@ class MetaServer {
   std::set<cluster::LvId> dirty_bitmaps_;  // flushed by the next clean cycle
   std::map<ReqId, PendingPut> pending_;
   std::map<std::string, ReqId> pending_names_;
+  // Names mid-demotion-swap (src/tier): puts and deletes answer kUnavailable
+  // while a name is here, for the single persist round the swap takes.
+  std::set<std::string> tiering_names_;
+  // Last get time per object name, feeding the demotion recency policy.
+  std::map<std::string, Nanos> last_access_;
 
   std::unique_ptr<Scrubber> scrubber_;
+  std::unique_ptr<tier::TierEngine> tier_;
 
   obs::Scope scope_;
   struct {

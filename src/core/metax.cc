@@ -107,6 +107,23 @@ std::string ObMeta::Encode() const {
   PutVarint64(&out, size);
   PutVarint64(&out, proxy_id);
   PutVarint64(&out, reqid);
+  PutVarint64(&out, static_cast<uint64_t>(storage_class));
+  PutVarint64(&out, born_ns);
+  switch (storage_class) {
+    case StorageClass::kReplica:
+      break;
+    case StorageClass::kInline:
+      PutLengthPrefixed(&out, inline_data);
+      break;
+    case StorageClass::kEc:
+      PutVarint64(&out, ec_k);
+      PutVarint64(&out, ec_m);
+      PutVarint64(&out, chunk_crcs.size());
+      for (uint32_t crc : chunk_crcs) {
+        PutFixed32(&out, crc);
+      }
+      break;
+  }
   return out;
 }
 
@@ -125,6 +142,46 @@ Result<ObMeta> ObMeta::Decode(std::string_view data) {
   if (GetVarint64(&data, &proxy_id) && GetVarint64(&data, &reqid)) {
     m.proxy_id = static_cast<uint32_t>(proxy_id);
     m.reqid = reqid;
+  } else {
+    return m;
+  }
+  // Storage class, absent in pre-tiering encodings: missing means kReplica.
+  uint64_t cls = 0;
+  if (!GetVarint64(&data, &cls)) {
+    return m;
+  }
+  if (cls > static_cast<uint64_t>(StorageClass::kEc) ||
+      !GetVarint64(&data, &m.born_ns)) {
+    return Status::Corruption("ObMeta storage class");
+  }
+  m.storage_class = static_cast<StorageClass>(cls);
+  switch (m.storage_class) {
+    case StorageClass::kReplica:
+      break;
+    case StorageClass::kInline: {
+      std::string_view payload;
+      if (!GetLengthPrefixed(&data, &payload)) {
+        return Status::Corruption("ObMeta inline payload");
+      }
+      m.inline_data = std::string(payload);
+      break;
+    }
+    case StorageClass::kEc: {
+      uint64_t k = 0, mm = 0, nchunks = 0;
+      if (!GetVarint64(&data, &k) || !GetVarint64(&data, &mm) ||
+          !GetVarint64(&data, &nchunks) || k == 0 || nchunks != k + mm) {
+        return Status::Corruption("ObMeta ec geometry");
+      }
+      m.ec_k = static_cast<uint32_t>(k);
+      m.ec_m = static_cast<uint32_t>(mm);
+      m.chunk_crcs.resize(nchunks);
+      for (uint64_t i = 0; i < nchunks; ++i) {
+        if (!GetFixed32(&data, &m.chunk_crcs[i])) {
+          return Status::Corruption("ObMeta chunk crcs");
+        }
+      }
+      break;
+    }
   }
   return m;
 }

@@ -50,6 +50,17 @@ bool ParseObMetaKey(std::string_view key, cluster::PgId* pg, std::string* name);
 bool ParsePxLogKey(std::string_view key, uint32_t* proxy_id, ReqId* reqid);
 
 // ---- values ----
+
+// Storage class of an object's data (src/tier). Replica is the paper's
+// path; Inline keeps the payload inside the ObMeta record itself (no data
+// server involved); Ec stripes the payload as K data + M parity chunks, one
+// chunk per PV of an ec_stripe LV, with a CRC32C per chunk.
+enum class StorageClass : uint8_t {
+  kReplica = 0,
+  kInline = 1,
+  kEc = 2,
+};
+
 struct ObMeta {
   ObMeta() = default;
   cluster::LvId lvid = 0;                 // Mv: volume metadata
@@ -60,6 +71,20 @@ struct ObMeta {
   // write the creator's OpDone marker when it consumes the object.
   uint32_t proxy_id = 0;
   ReqId reqid = 0;
+
+  // Storage class + class-specific payload (encoded after the creator op so
+  // pre-tiering records decode as kReplica).
+  StorageClass storage_class = StorageClass::kReplica;
+  // Virtual time the record was written; demotion treats it as the floor of
+  // the object's last-access time across meta-server restarts.
+  uint64_t born_ns = 0;
+  // kInline: the object payload itself.
+  std::string inline_data;
+  // kEc: Reed-Solomon geometry and one CRC32C per chunk (k data chunks then
+  // m parity chunks, chunk j living on replicas[j] of the stripe LV).
+  uint32_t ec_k = 0;
+  uint32_t ec_m = 0;
+  std::vector<uint32_t> chunk_crcs;
 
   std::string Encode() const;
   static Result<ObMeta> Decode(std::string_view data);

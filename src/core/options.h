@@ -18,6 +18,32 @@
 
 namespace cheetah::core {
 
+// Storage-class tiering (src/tier): inline small objects in MetaX, land
+// everything else as replicas, and demote cold replica objects to K+M
+// erasure-coded stripes in the background under the maintenance QoS class.
+struct TierOptions {
+  TierOptions() = default;
+
+  // Objects at or below this size are stored inline in the ObMeta record —
+  // one metadata round trip, no data server touched. 0 disables inlining.
+  uint64_t inline_threshold = 0;
+
+  // Reed-Solomon geometry for the EC storage class. ec_k == 0 disables the
+  // EC tier entirely (no stripe LVs are carved at bootstrap).
+  uint32_t ec_k = 0;
+  uint32_t ec_m = 0;
+
+  // Demotion policy: a settled replica object becomes an EC candidate once
+  // it is at least this large and has not been written or read for
+  // demote_after of virtual time.
+  uint64_t min_ec_object_bytes = 0;
+  Nanos demote_after = Seconds(1);
+
+  // Background demotion engine scan period. 0 disables the engine (placement
+  // classes still work; nothing moves between them).
+  Nanos tier_scan_interval = 0;
+};
+
 struct CheetahOptions {
   CheetahOptions() = default;
 
@@ -76,6 +102,9 @@ struct CheetahOptions {
   // server, honoring kOverloaded pushback (sleep retry-after, halve window).
   qos::QosParams qos;
   qos::AimdParams aimd;
+
+  // --- storage classes & tiering (src/tier) ---
+  TierOptions tier;
 
   // MetaX KV store tuning (Fig. 11 sweeps these).
   kv::Options metax_kv;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/cluster/messages.h"
+#include "src/core/metax.h"
 #include "src/core/options.h"
 #include "src/obs/metrics.h"
 #include "src/rpc/node.h"
@@ -56,6 +57,9 @@ class Scrubber {
 
  private:
   sim::Task<> ScrubPg(cluster::PgId pg);
+  // EC objects: probe every stripe chunk against its recorded CRC; rebuild
+  // damaged chunks from any k survivors (src/tier degraded-repair path).
+  sim::Task<> ScrubEcObject(ObMeta meta);
 
   MetaServer& ms_;
   rpc::Node& rpc_;

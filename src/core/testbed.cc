@@ -168,6 +168,8 @@ Status Testbed::Boot() {
   spec.pvs_per_disk = config_.pvs_per_disk;
   spec.lv_capacity_bytes = config_.lv_capacity_bytes;
   spec.block_size = config_.block_size;
+  spec.ec_k = config_.options.tier.ec_k;
+  spec.ec_m = config_.options.tier.ec_m;
   RETURN_IF_ERROR(RunManagerAction(
       [spec](cluster::Manager& m) { return m.Bootstrap(spec); }));
 

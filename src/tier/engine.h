@@ -1,0 +1,93 @@
+// Background promotion/demotion engine for storage-class tiering.
+//
+// A meta-server-resident actor (the same friend-actor shape as the
+// Scrubber): each pass walks every PG this server is primary for and demotes
+// settled, cold replica objects to K+M erasure-coded stripes. All movement
+// I/O rides the maintenance QoS class (RepairRead/RepairWrite), so a
+// demotion wave never contends with foreground puts/gets.
+//
+// Demotion state machine per object:
+//   1. allocate shard-sized extents on one of the PG's EC stripe LVs
+//      (RE-DATA-style: the allocation is revoked in full on any failure);
+//   2. verified-read the payload from a healthy replica, encode k+m chunks,
+//      write chunk j to stripe PV j with its own CRC32C as the stored
+//      checksum — the chunks are invisible until the metadata swap, so this
+//      whole phase needs no exclusion against foreground ops;
+//   3. swap: take the per-name tiering guard (puts/deletes answer
+//      kUnavailable and retry), re-read the ObMeta and abort if the object
+//      changed underneath (tombstoned, recreated, or pending again), persist
+//      the EC record through the normal replication path, then free +
+//      discard the old replica extents.
+// A delete that slipped past the guard before the swap persisted is caught
+// by a post-persist re-read; the stripe is then revoked like any failure.
+#ifndef SRC_TIER_ENGINE_H_
+#define SRC_TIER_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/alloc/bitmap_allocator.h"
+#include "src/cluster/topology.h"
+#include "src/core/metax.h"
+#include "src/core/options.h"
+#include "src/obs/metrics.h"
+#include "src/rpc/node.h"
+
+namespace cheetah::core {
+class MetaServer;
+}  // namespace cheetah::core
+
+namespace cheetah::tier {
+
+class TierEngine {
+ public:
+  TierEngine(core::MetaServer& ms, rpc::Node& rpc, const core::CheetahOptions& options);
+
+  // Periodic driver: sleeps options.tier.tier_scan_interval between passes.
+  // Spawned by MetaServer::Init when the engine is enabled.
+  sim::Task<> Loop();
+
+  // One full demotion scan of every ready PG this server is primary for.
+  sim::Task<> TierAll();
+
+  // Value snapshot of the registry-backed counters ("tier@<node>.*").
+  struct Stats {
+    uint64_t scanned = 0;          // settled replica objects considered
+    uint64_t demotions = 0;        // objects swapped to the EC class
+    uint64_t demote_aborts = 0;    // swaps abandoned (object changed underneath)
+    uint64_t demote_failures = 0;  // stripe I/O or persist errors (retried later)
+    uint64_t bytes_demoted = 0;    // object bytes now living as EC stripes
+  };
+  Stats stats() const {
+    return Stats{counters_.scanned->value(),
+                 counters_.demotions->value(),
+                 counters_.demote_aborts->value(),
+                 counters_.demote_failures->value(),
+                 counters_.bytes_demoted->value()};
+  }
+
+ private:
+  sim::Task<> TierPg(cluster::PgId pg);
+  sim::Task<> DemoteObject(cluster::PgId pg, std::string name, core::ObMeta meta);
+  // Revokes a half-built stripe: frees the allocation and drops any chunks
+  // already written.
+  sim::Task<> RevokeStripe(cluster::LvId stripe_lvid,
+                           std::vector<alloc::Extent> extents);
+
+  core::MetaServer& ms_;
+  rpc::Node& rpc_;
+  const core::CheetahOptions& options_;
+
+  obs::Scope scope_;
+  struct {
+    obs::Counter* scanned;
+    obs::Counter* demotions;
+    obs::Counter* demote_aborts;
+    obs::Counter* demote_failures;
+    obs::Counter* bytes_demoted;
+  } counters_;
+};
+
+}  // namespace cheetah::tier
+
+#endif  // SRC_TIER_ENGINE_H_

@@ -1,0 +1,42 @@
+// Placement policy for the storage-class tiering subsystem: where does an
+// object's data land on put, and when does a settled replica object become a
+// demotion candidate?
+//
+// Write-then-promote (buckets STORAGE_LAYER.md, CFS): puts land on the fast
+// path — tiny objects inline in MetaX (one round trip, no data server),
+// everything else as n-way replicas — and the background TierEngine later
+// demotes cold replica objects to K+M erasure coding for capacity.
+#ifndef SRC_TIER_POLICY_H_
+#define SRC_TIER_POLICY_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/core/metax.h"
+#include "src/core/options.h"
+
+namespace cheetah::tier {
+
+// Storage class for a fresh put of `size` bytes. Never returns kEc: EC is
+// reached only by background demotion, so the put critical path never pays
+// stripe fan-out.
+inline core::StorageClass ChooseClass(const core::TierOptions& opts, uint64_t size) {
+  if (opts.inline_threshold > 0 && size <= opts.inline_threshold) {
+    return core::StorageClass::kInline;
+  }
+  return core::StorageClass::kReplica;
+}
+
+// Demotion policy: a settled replica object is cold enough to move to EC
+// once it is big enough to be worth striping and idle past demote_after.
+inline bool EligibleForDemotion(const core::TierOptions& opts, uint64_t size,
+                                Nanos last_access, Nanos now) {
+  if (opts.ec_k == 0 || size < opts.min_ec_object_bytes) {
+    return false;
+  }
+  return now - last_access >= opts.demote_after;
+}
+
+}  // namespace cheetah::tier
+
+#endif  // SRC_TIER_POLICY_H_

@@ -1,0 +1,38 @@
+#include "src/tier/striper.h"
+
+#include "src/common/crc32c.h"
+#include "src/ec/reed_solomon.h"
+
+namespace cheetah::tier {
+
+uint64_t ShardBytes(uint64_t size, uint32_t k) {
+  return k == 0 ? 0 : (size + k - 1) / k;
+}
+
+std::vector<std::string> EncodeChunks(std::string_view data, uint32_t k, uint32_t m) {
+  ec::ReedSolomon rs(static_cast<int>(k), static_cast<int>(m));
+  return rs.Encode(data);
+}
+
+std::vector<uint32_t> ChunkCrcs(const std::vector<std::string>& chunks) {
+  std::vector<uint32_t> crcs;
+  crcs.reserve(chunks.size());
+  for (const auto& c : chunks) {
+    crcs.push_back(Crc32c(c));
+  }
+  return crcs;
+}
+
+Result<std::string> DecodeChunks(const std::vector<std::optional<std::string>>& chunks,
+                                 uint32_t k, uint32_t m, uint64_t size) {
+  ec::ReedSolomon rs(static_cast<int>(k), static_cast<int>(m));
+  return rs.Decode(chunks, size);
+}
+
+Result<std::vector<std::string>> ReconstructChunks(
+    const std::vector<std::optional<std::string>>& chunks, uint32_t k, uint32_t m) {
+  ec::ReedSolomon rs(static_cast<int>(k), static_cast<int>(m));
+  return rs.Reconstruct(chunks);
+}
+
+}  // namespace cheetah::tier

@@ -137,5 +137,80 @@ TEST(ReedSolomonTest, DecodeChecksShardCount) {
   EXPECT_FALSE(rs.Decode(wrong, 100).ok());
 }
 
+TEST(ReedSolomonTest, ReconstructFromExactlyKArbitraryShards) {
+  // Any k-subset suffices — including the worst case where every data shard
+  // but one is gone and the survivors are mostly parity.
+  ReedSolomon rs(3, 2);
+  const std::string data = RandomData(3000, 17);
+  auto encoded = rs.Encode(data);
+  std::vector<std::optional<std::string>> shards(encoded.begin(), encoded.end());
+  shards[0].reset();
+  shards[2].reset();  // survivors: data[1], parity[3], parity[4] — exactly k
+  auto decoded = rs.Decode(shards, data.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, data);
+  auto rebuilt = rs.Reconstruct(shards);
+  ASSERT_TRUE(rebuilt.ok());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_EQ((*rebuilt)[i], encoded[i]) << "shard " << i;
+  }
+}
+
+TEST(ReedSolomonTest, ZeroParityIsPassthrough) {
+  // m=0 degenerates to plain striping: encode slices, decode concatenates,
+  // and a single loss is unrecoverable.
+  ReedSolomon rs(4, 0);
+  const std::string data = RandomData(4000, 18);
+  auto shards = rs.Encode(data);
+  ASSERT_EQ(shards.size(), 4u);
+  std::string concat;
+  for (const auto& s : shards) {
+    concat += s;
+  }
+  EXPECT_EQ(concat.substr(0, data.size()), data);
+  std::vector<std::optional<std::string>> all(shards.begin(), shards.end());
+  auto decoded = rs.Decode(all, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+  all[1].reset();
+  EXPECT_FALSE(rs.Decode(all, data.size()).ok());
+}
+
+TEST(ReedSolomonTest, ZeroPaddingRoundTripsOddSizes) {
+  // Sizes that do not divide by k pad the tail shard with zeros; the pad must
+  // be deterministic (equal shard lengths) and come back off on decode.
+  ReedSolomon rs(4, 2);
+  for (size_t size : {1u, 3u, 17u, 4095u, 4097u}) {
+    const std::string data = RandomData(size, 19 + size);
+    auto shards = rs.Encode(data);
+    const size_t shard_len = (size + 3) / 4;
+    for (const auto& s : shards) {
+      EXPECT_EQ(s.size(), shard_len) << "size " << size;
+    }
+    // The last data shard beyond the real bytes is all zeros.
+    const size_t used_in_last = size > 3 * shard_len ? size - 3 * shard_len : 0;
+    for (size_t i = used_in_last; i < shards[3].size(); ++i) {
+      EXPECT_EQ(shards[3][i], '\0') << "size " << size << " pad byte " << i;
+    }
+    std::vector<std::optional<std::string>> all(shards.begin(), shards.end());
+    all[0].reset();
+    all[4].reset();  // max losses
+    auto decoded = rs.Decode(all, size);
+    ASSERT_TRUE(decoded.ok()) << "size " << size;
+    EXPECT_EQ(*decoded, data) << "size " << size;
+  }
+}
+
+TEST(ReedSolomonTest, DecodeAndReconstructRejectFewerThanKSurvivors) {
+  ReedSolomon rs(4, 2);
+  auto encoded = rs.Encode(RandomData(1024, 23));
+  std::vector<std::optional<std::string>> shards(encoded.begin(), encoded.end());
+  shards[0].reset();
+  shards[3].reset();
+  shards[5].reset();  // 3 survivors < k=4
+  EXPECT_FALSE(rs.Decode(shards, 1024).ok());
+  EXPECT_FALSE(rs.Reconstruct(shards).ok());
+}
+
 }  // namespace
 }  // namespace cheetah::ec
