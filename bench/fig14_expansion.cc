@@ -11,8 +11,10 @@ namespace {
 struct Numbers {
   double put_ms = 0;
   double get_ms = 0;
+  double get_p99_ms = 0;
   double put_tput = 0;
   double get_tput = 0;
+  uint64_t errors = 0;
 };
 
 Numbers MeasureDuring(sim::EventLoop& loop,
@@ -22,14 +24,19 @@ Numbers MeasureDuring(sim::EventLoop& loop,
   {  // latency at conc 20 (Fig. 14a)
     auto put = RunPuts(loop, clients, "exp-lat-", ops / 4, KiB(64), 20);
     out.put_ms = put.put.MeanMillis();
+    out.errors += put.errors;
     auto get = RunGets(loop, clients, names, ops / 4, 20);
     out.get_ms = get.get.MeanMillis();
+    out.get_p99_ms = get.get.PercentileMillis(0.99);
+    out.errors += get.errors;
   }
   {  // throughput at conc 500 (Fig. 14b)
     auto put = RunPuts(loop, clients, "exp-tp-", ops, KiB(64), 500);
     out.put_tput = put.throughput.OpsPerSec();
+    out.errors += put.errors;
     auto get = RunGets(loop, clients, names, ops, 500);
     out.get_tput = get.throughput.OpsPerSec();
+    out.errors += get.errors;
   }
   return out;
 }
@@ -46,16 +53,25 @@ int main() {
 
   std::vector<std::pair<std::string, Numbers>> rows;
 
+  // Self-assert on the Cheetah row: expansion must be invisible to the
+  // foreground — GET p99 while the meta view change/adoption is in flight
+  // stays within a fixed multiple of steady state, and no foreground op
+  // fails. (The baselines below are *expected* to degrade; no assert there.)
+  double steady_get_p99 = 0;
+  Numbers cheetah_during;
   {
     auto bench = MakeCheetah();
     auto names =
         workload::Preload(bench.loop(), bench.clients, "pre-", preload, KiB(64));
+    auto steady = RunGets(bench.loop(), bench.clients, names, ops / 4, 20);
+    steady_get_p99 = steady.get.PercentileMillis(0.99);
     auto added = bench.bed->AddMetaMachine();
     if (!added.ok()) {
       std::fprintf(stderr, "cheetah expansion failed: %s\n", added.status().ToString().c_str());
       return 1;
     }
-    rows.emplace_back("Cheetah", MeasureDuring(bench.loop(), bench.clients, names, ops));
+    cheetah_during = MeasureDuring(bench.loop(), bench.clients, names, ops);
+    rows.emplace_back("Cheetah", cheetah_during);
   }
   {
     core::CheetahOptions options;
@@ -92,5 +108,24 @@ int main() {
     std::printf("%-18s%-18.0f%-18.0f\n", name.c_str(), n.put_tput, n.get_tput);
   }
   DumpObsJson("fig14_expansion");
+
+  constexpr double kP99Multiple = 3.0;
+  bool ok = true;
+  if (cheetah_during.errors != 0) {
+    std::fprintf(stderr, "FAIL: %llu foreground ops failed during Cheetah expansion\n",
+                 static_cast<unsigned long long>(cheetah_during.errors));
+    ok = false;
+  }
+  if (cheetah_during.get_p99_ms > kP99Multiple * steady_get_p99) {
+    std::fprintf(stderr,
+                 "FAIL: in-expansion GET p99 %.3fms exceeds %.1fx steady-state %.3fms\n",
+                 cheetah_during.get_p99_ms, kP99Multiple, steady_get_p99);
+    ok = false;
+  }
+  if (!ok) {
+    return 1;
+  }
+  std::printf("fig14: PASS (in-expansion GET p99 %.3fms <= %.1fx steady %.3fms, 0 errors)\n",
+              cheetah_during.get_p99_ms, kP99Multiple, steady_get_p99);
   return 0;
 }

@@ -42,3 +42,12 @@ CHEETAH_SCRUB_SMOKE=1 "$builddir/bench/scrub_overhead"
 # the inline put path beats the replica put path on latency.
 CHEETAH_EC_SEEDS=1,2 ctest --preset "$preset" -L ec -j "$(nproc)"
 CHEETAH_EC_SMOKE=1 "$builddir/bench/ec_tradeoffs"
+
+# Membership/migration tier: failure-detector units, live drain/migration
+# tests, and the migration chaos sweep (ctest label `migrate`, pinned seeds —
+# larger hunts via CHEETAH_MIGRATE_SEEDS), then the resize-under-fire bench at
+# reduced scale — it asserts zero failed foreground ops while the cluster
+# doubles and a node drains, foreground p99 within 2x of steady state, a
+# completed drain, and a clean full audit afterwards.
+CHEETAH_MIGRATE_SEEDS=1,2 ctest --preset "$preset" -L migrate -j "$(nproc)"
+CHEETAH_RESIZE_SMOKE=1 "$builddir/bench/resize_under_fire"

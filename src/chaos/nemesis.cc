@@ -242,6 +242,91 @@ NemesisSchedule EcChunkChaos(uint64_t seed, int data_count, Nanos span) {
   return out;
 }
 
+NemesisSchedule MigrationChaos(uint64_t seed, int meta_count, Nanos span,
+                               MigrationFault fault) {
+  Rng rng(seed ^ 0xd2a10ull);
+  NemesisSchedule s;
+  const int victim = static_cast<int>(rng.Uniform(static_cast<uint64_t>(meta_count)));
+  const Nanos start = span / 6 + rng.Uniform(span / 6);
+  s.Add(start, "begin drain meta[" + std::to_string(victim) + "]",
+        [victim](core::Testbed& bed) { (void)bed.BeginDrainMetaMachine(victim); });
+  // The fault lands a beat after the drain starts, inside the
+  // DoubleWrite/Catchup/Cutover window (phases are tens of ms apart, so the
+  // seed decides exactly which leg takes the hit).
+  const Nanos hit = start + Millis(20) + rng.Uniform(Millis(100));
+  switch (fault) {
+    case MigrationFault::kCrashSource: {
+      const Nanos down = Millis(800) + rng.Uniform(Millis(400));
+      s.Add(hit, "crash drain source meta[" + std::to_string(victim) + "]",
+            [victim](core::Testbed& bed) {
+              bed.Crash(bed.meta_node(victim), /*power_loss=*/false);
+            });
+      s.Add(hit + down, "restart meta[" + std::to_string(victim) + "]",
+            [victim](core::Testbed& bed) { bed.Restart(bed.meta_node(victim)); });
+      break;
+    }
+    case MigrationFault::kCrashDestination: {
+      // The destination is CRUSH's choice at drain time, unknown when the
+      // schedule is composed; the action reads it out of the replicated
+      // migration state at fire time (still deterministic per run).
+      const Nanos down = Millis(800) + rng.Uniform(Millis(400));
+      s.Add(hit, "crash first catchup destination (from migration state)",
+            [](core::Testbed& bed) {
+              const int leader = bed.LeaderManager();
+              if (leader < 0) {
+                return;
+              }
+              for (const auto& [pg, mig] :
+                   bed.manager(leader).topology().migrations) {
+                if (mig.destination != sim::kInvalidNode) {
+                  bed.Crash(mig.destination, /*power_loss=*/false);
+                  return;
+                }
+              }
+            });
+      s.Add(hit + down, "restart any dead meta machine",
+            [](core::Testbed& bed) {
+              for (int i = 0; i < bed.num_meta(); ++i) {
+                if (!bed.meta_machine(i).alive()) {
+                  bed.RestartMetaMachine(i);
+                }
+              }
+            });
+      break;
+    }
+    case MigrationFault::kPartitionLeader: {
+      const Nanos held = Millis(900) + rng.Uniform(Millis(500));
+      s.Add(hit, "isolate manager leader (cutover window)",
+            [](core::Testbed& bed) {
+              const int leader = bed.LeaderManager();
+              if (leader >= 0) {
+                bed.Isolate(bed.manager_node(leader));
+              }
+            });
+      s.Add(hit + held, "heal all partitions",
+            [](core::Testbed& bed) { bed.Heal(); });
+      break;
+    }
+  }
+  // Re-issue the drain late in the window: a drain aborted by the fault above
+  // is retried and must complete; a drain that already cut over answers
+  // NotFound (the node is gone from the CRUSH map) and this is a no-op.
+  s.Add((span * 3) / 5, "re-issue drain meta[" + std::to_string(victim) + "]",
+        [victim](core::Testbed& bed) { (void)bed.BeginDrainMetaMachine(victim); });
+  return s;
+}
+
+std::vector<NemesisSchedule> MigrationSchedules(uint64_t seed, int meta_count,
+                                                Nanos span) {
+  std::vector<NemesisSchedule> out;
+  out.push_back(MigrationChaos(seed, meta_count, span, MigrationFault::kCrashSource));
+  out.push_back(
+      MigrationChaos(seed, meta_count, span, MigrationFault::kCrashDestination));
+  out.push_back(
+      MigrationChaos(seed, meta_count, span, MigrationFault::kPartitionLeader));
+  return out;
+}
+
 NemesisSchedule Combined(uint64_t seed, int meta_count, int data_count, Nanos span) {
   // Independent sub-seeds so each ingredient draws its own fault sequence.
   NemesisSchedule out = NetChaos(seed * 3 + 1, span);

@@ -103,6 +103,27 @@ NemesisSchedule Combined(uint64_t seed, int meta_count, int data_count, Nanos sp
 // while the crash adds transient unavailability on top.
 NemesisSchedule EcChunkChaos(uint64_t seed, int data_count, Nanos span);
 
+// ---- membership lifecycle chaos ----
+// Each schedule begins a planned drain of one meta machine mid-workload and
+// then attacks a different leg of the live-migration state machine. A drain
+// resumes from replicated state across manager leader changes and aborts
+// cleanly (eviction instead of retirement) when the drain target itself
+// dies, so correctness — linearizability plus no lost/ghost objects — must
+// hold whether or not the drain completes. A late re-issued drain exercises
+// the full Prepare -> DoubleWrite -> Catchup -> Cutover path even on the
+// aborting flavors.
+enum class MigrationFault {
+  kCrashSource = 0,       // kill the draining node mid-DoubleWrite
+  kCrashDestination = 1,  // kill a catchup destination mid-Catchup
+  kPartitionLeader = 2,   // isolate the manager leader around Cutover
+};
+NemesisSchedule MigrationChaos(uint64_t seed, int meta_count, Nanos span,
+                               MigrationFault fault);
+
+// The migration sweep's battery: one schedule per fault flavor.
+std::vector<NemesisSchedule> MigrationSchedules(uint64_t seed, int meta_count,
+                                                Nanos span);
+
 // The sweep's standard battery for a given seed.
 std::vector<NemesisSchedule> StandardSchedules(uint64_t seed, int meta_count,
                                                int data_count, Nanos span);

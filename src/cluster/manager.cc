@@ -8,6 +8,20 @@
 
 namespace cheetah::cluster {
 
+double PhiSuspicion(Nanos gap, Nanos mean_interarrival) {
+  // Exponential arrival model: P(silence >= gap) = exp(-gap/mean), so
+  // phi = -log10 P = gap / (mean * ln 10). The mean is floored to keep a
+  // burst of back-to-back heartbeats from making any silence look alarming.
+  const double mean = std::max<double>(static_cast<double>(mean_interarrival),
+                                       static_cast<double>(Millis(10)));
+  return 0.43429448190325176 * static_cast<double>(gap) / mean;
+}
+
+Nanos Manager::EffectiveFailTimeout(uint32_t flaps) const {
+  const uint64_t penalty = std::min(flaps, config_.max_flap_penalty);
+  return config_.fail_timeout * (1 + penalty);
+}
+
 Manager::Manager(rpc::Node& rpc, sim::Storage& storage, raft::Config raft_config,
                  ManagerConfig config, uint64_t seed)
     : rpc_(rpc), config_(config) {
@@ -306,6 +320,199 @@ sim::Task<Status> Manager::AddDataServer(sim::NodeId node, uint32_t disks,
   });
 }
 
+sim::Task<Status> Manager::DrainMetaServer(sim::NodeId node) {
+  if (!raft_->is_leader()) {
+    co_return Status::Unavailable("not the manager leader");
+  }
+  if (!sm_.current.meta_crush.HasItem(node)) {
+    co_return Status::NotFound("not a mapped meta server");
+  }
+  if (sm_.current.meta_crush.size() <= 1) {
+    co_return Status::InvalidArgument("cannot drain the last meta server");
+  }
+  if (!sm_.current.draining_metas.empty() && !sm_.current.IsDraining(node)) {
+    co_return Status::Unavailable("another drain is in progress");
+  }
+  co_return co_await RunDrain(node);
+}
+
+sim::Task<Status> Manager::RunDrain(sim::NodeId node) {
+  if (drain_running_) {
+    co_return Status::Unavailable("a drain is already running");
+  }
+  drain_running_ = true;
+  Status result = Status::Internal("drain did not converge");
+  // Each round re-derives the step from the replicated topology, so the loop
+  // is safe to enter at any phase (fresh drain, leader-change resumption, or
+  // a replan after a concurrent failure changed the membership mid-drain).
+  for (int round = 0; round < 50; ++round) {
+    if (!raft_->is_leader()) {
+      result = Status::Unavailable("lost manager leadership mid-drain");
+      break;
+    }
+    if (!sm_.current.meta_crush.HasItem(node)) {
+      // Gone from the map already: a prior cutover committed (retired) or
+      // the failure detector evicted the node mid-drain (drain moot).
+      result = sm_.current.IsRetired(node)
+                   ? Status::Ok()
+                   : Status::Unavailable("drain target evicted mid-drain");
+      break;
+    }
+
+    // Prepare: publish a migration entry for every PG the node serves whose
+    // post-removal replica set gains a member. PGs whose post-set is a subset
+    // of today's members need no catchup (the survivors already hold them).
+    Status s = co_await MutateTopology([node](TopologyMap& next) {
+      if (!next.meta_crush.HasItem(node)) {
+        return Status::Unavailable("drain target gone");
+      }
+      bool changed = false;
+      if (!next.IsDraining(node)) {
+        next.draining_metas.push_back(node);
+        changed = true;
+      }
+      crush::Map after = next.meta_crush;
+      after.RemoveItem(node);
+      if (after.size() == 0) {
+        return Status::InvalidArgument("cannot drain the last meta server");
+      }
+      for (PgId pg = 0; pg < next.pg_count; ++pg) {
+        auto cur = next.MetaServersOf(pg);
+        if (std::find(cur.begin(), cur.end(), node) == cur.end()) {
+          continue;
+        }
+        auto post = after.Select(pg, next.replication);
+        sim::NodeId dest = sim::kInvalidNode;
+        for (sim::NodeId cand : post) {
+          if (std::find(cur.begin(), cur.end(), cand) == cur.end()) {
+            dest = cand;
+            break;
+          }
+        }
+        if (dest == sim::kInvalidNode) {
+          continue;
+        }
+        auto it = next.migrations.find(pg);
+        if (it != next.migrations.end() && it->second.destination == dest) {
+          continue;  // entry survives a replan round, phase intact
+        }
+        PgMigration mig;
+        mig.source = next.PrimaryOf(pg);
+        mig.destination = dest;
+        next.migrations[pg] = mig;
+        changed = true;
+      }
+      return changed ? Status::Ok() : Status::AlreadyExists("no change");
+    });
+    if (!s.ok() && s.code() != ErrorCode::kAlreadyExists) {
+      co_await sim::SleepFor(config_.drain_retry_delay);
+      continue;
+    }
+
+    // DoubleWrite then Catchup: two global phase bumps. From the DoubleWrite
+    // view on, the source forwards every write to the destination; catchup
+    // pulls are gated on that view so no write can slip between the scan and
+    // the forwarding turning on.
+    for (MigrationPhase target :
+         {MigrationPhase::kDoubleWrite, MigrationPhase::kCatchup}) {
+      s = co_await MutateTopology([node, target](TopologyMap& next) {
+        if (!next.IsDraining(node)) {
+          return Status::Unavailable("drain aborted");
+        }
+        bool changed = false;
+        for (auto& [pg, mig] : next.migrations) {
+          if (static_cast<uint8_t>(mig.phase) < static_cast<uint8_t>(target)) {
+            mig.phase = target;
+            changed = true;
+          }
+        }
+        return changed ? Status::Ok() : Status::AlreadyExists("no change");
+      });
+      if (!s.ok() && s.code() != ErrorCode::kAlreadyExists) {
+        break;
+      }
+    }
+    if (!s.ok() && s.code() != ErrorCode::kAlreadyExists) {
+      co_await sim::SleepFor(config_.drain_retry_delay);
+      continue;
+    }
+
+    // Command every destination to pull its PG from the source. Retries ride
+    // inside the round; a destination that died mid-catchup loses its entry
+    // (HandleMetaFailure) and the next round replans it.
+    const uint64_t catchup_view = sm_.current.view;
+    const std::map<PgId, PgMigration> entries = sm_.current.migrations;
+    std::map<PgId, sim::NodeId> caught;
+    bool all_caught = true;
+    for (const auto& [pg, mig] : entries) {
+      bool done = false;
+      for (int attempt = 0; attempt < 5 && !done; ++attempt) {
+        const PgMigration* cur = sm_.current.MigrationOf(pg);
+        if (cur == nullptr || cur->destination != mig.destination) {
+          break;  // entry dropped or replanned; next round handles it
+        }
+        MigratePgRequest req;
+        req.view = catchup_view;
+        req.pg = pg;
+        req.source = cur->source;
+        auto r = co_await rpc_.Call(mig.destination, std::move(req),
+                                    config_.migrate_rpc_timeout);
+        if (r.ok()) {
+          done = true;
+        } else {
+          co_await sim::SleepFor(config_.drain_retry_delay);
+        }
+      }
+      if (done) {
+        caught[pg] = mig.destination;
+      } else {
+        all_caught = false;
+      }
+    }
+    if (!all_caught) {
+      co_await sim::SleepFor(config_.drain_retry_delay);
+      continue;
+    }
+
+    // Cutover: one atomic view bump removes the node from CRUSH, clears the
+    // migration entries, and retires it — but only if the entry set is still
+    // exactly the set that finished catchup. Any divergence (a concurrent
+    // failure replanned an entry under us) restarts the round instead.
+    s = co_await MutateTopology([node, &caught](TopologyMap& next) {
+      if (!next.meta_crush.HasItem(node) || !next.IsDraining(node)) {
+        return Status::Unavailable("drain aborted");
+      }
+      if (next.migrations.size() != caught.size()) {
+        return Status::Unavailable("migration set changed during catchup");
+      }
+      for (const auto& [pg, dest] : caught) {
+        const PgMigration* cur = next.MigrationOf(pg);
+        if (cur == nullptr || cur->destination != dest) {
+          return Status::Unavailable("migration set changed during catchup");
+        }
+      }
+      next.meta_crush.RemoveItem(node);
+      next.migrations.clear();
+      next.draining_metas.erase(
+          std::remove(next.draining_metas.begin(), next.draining_metas.end(), node),
+          next.draining_metas.end());
+      if (!next.IsRetired(node)) {
+        next.retired_metas.push_back(node);
+      }
+      return Status::Ok();
+    });
+    if (s.ok()) {
+      ++drains_completed_;
+      LOG_INFO << "manager: drain of " << node << " complete, node retired";
+      result = Status::Ok();
+      break;
+    }
+    co_await sim::SleepFor(config_.drain_retry_delay);
+  }
+  drain_running_ = false;
+  co_return result;
+}
+
 sim::Task<> Manager::LeaderLoop() {
   bool was_leader = false;
   for (;;) {
@@ -314,9 +521,22 @@ sim::Task<> Manager::LeaderLoop() {
     if (leader_now && !was_leader) {
       // Liveness collected while we were a follower (e.g. during boot) is
       // stale; grant every known server a grace period before judging it.
+      // prev_arrival resets too so the follower-era gap never enters the
+      // phi window as a fake inter-arrival sample.
       const Nanos now = rpc_.machine().loop().Now();
       for (auto& [node, live] : liveness_) {
         live.last_seen = now;
+        live.prev_arrival = 0;
+      }
+      // A drain interrupted by the old leader's fall is replicated state;
+      // pick it back up. RunDrain is phase-idempotent (it re-derives the
+      // step from the topology), so resumption is safe at any point.
+      if (!sm_.current.draining_metas.empty() && !drain_running_) {
+        const sim::NodeId draining = sm_.current.draining_metas.front();
+        rpc_.machine().actor().Spawn(
+            [](Manager* self, sim::NodeId node) -> sim::Task<> {
+              (void)co_await self->RunDrain(node);
+            }(this, draining));
       }
     }
     was_leader = leader_now;
@@ -334,14 +554,35 @@ sim::Task<> Manager::CheckFailures() {
     if (live.kind == ServerKind::kClientProxy) {
       continue;  // proxy crashes are handled by meta servers (§5.3)
     }
-    if (now - live.last_seen > config_.fail_timeout &&
-        !handling_failure_.contains(node)) {
-      failed.emplace_back(node, live.kind);
+    if (handling_failure_.contains(node)) {
+      continue;
     }
+    const Nanos gap = now - live.last_seen;
+    if (gap <= EffectiveFailTimeout(live.flaps)) {
+      continue;  // within the (flap-stretched) hard floor
+    }
+    // Past the floor: consult the accrual detector. With a healthy heartbeat
+    // history the phi threshold lands at ~fail_timeout; a node whose
+    // heartbeats were already slow (gray network) has a proportionally larger
+    // mean and must stay silent proportionally longer before eviction. Fewer
+    // than 3 samples -> no usable distribution, fall back to the plain floor.
+    if (live.intervals.size() >= 3) {
+      Nanos sum = 0;
+      for (Nanos iv : live.intervals) {
+        sum += iv;
+      }
+      const Nanos mean = sum / static_cast<Nanos>(live.intervals.size());
+      if (PhiSuspicion(gap, mean) < config_.phi_threshold) {
+        ++flap_suppressions_;
+        continue;  // silence still plausible for this node's cadence
+      }
+    }
+    failed.emplace_back(node, live.kind);
   }
   for (auto [node, kind] : failed) {
     handling_failure_.insert(node);
     LOG_INFO << "manager: declaring " << node << " failed";
+    ++evictions_;
     if (kind == ServerKind::kMetaServer) {
       co_await HandleMetaFailure(node);
     } else {
@@ -355,11 +596,14 @@ sim::Task<> Manager::CheckFailures() {
   // heartbeating again has returned from its eviction. Its stale local PG
   // state is safe to bring back — adoption re-pulls across the view gap and
   // merges, with deletes carried as tombstones (core/meta_server.cc).
+  // Draining and retired nodes are deliberately absent: re-admitting them
+  // would undo a decommission the moment the drained node heartbeats.
   std::vector<sim::NodeId> returned;
   for (const auto& [node, live] : liveness_) {
     if (live.kind == ServerKind::kMetaServer && !handling_failure_.contains(node) &&
         now - live.last_seen <= config_.fail_timeout &&
-        !sm_.current.meta_crush.HasItem(node)) {
+        !sm_.current.meta_crush.HasItem(node) && !sm_.current.IsDraining(node) &&
+        !sm_.current.IsRetired(node)) {
       returned.push_back(node);
     }
   }
@@ -388,10 +632,35 @@ sim::Task<> Manager::HandleMetaFailure(sim::NodeId node) {
       return Status::AlreadyExists("already removed");
     }
     next.meta_crush.RemoveItem(node);
+    // Repair any in-flight drain the crash intersects. A dead draining node
+    // aborts its own drain (entries cleared, not retired — if it returns it
+    // may re-admit); a dead migration *destination* drops just its entries
+    // (the drain driver replans them); a dead *source* re-points catchup at
+    // the PG's post-removal primary.
+    if (next.IsDraining(node)) {
+      next.migrations.clear();
+      next.draining_metas.erase(
+          std::remove(next.draining_metas.begin(), next.draining_metas.end(), node),
+          next.draining_metas.end());
+    } else {
+      for (auto it = next.migrations.begin(); it != next.migrations.end();) {
+        if (it->second.destination == node) {
+          it = next.migrations.erase(it);
+          continue;
+        }
+        if (it->second.source == node) {
+          it->second.source = next.PrimaryOf(it->first);
+        }
+        ++it;
+      }
+    }
     return Status::Ok();
   });
   // The new primaries pull their PGs' MetaX from the surviving replicas when
-  // they observe the new view (core/meta_server.cc).
+  // they observe the new view (core/meta_server.cc). CRUSH Select always
+  // fills the replica set from the remaining members, so the under-replicated
+  // window closes as soon as the new members' adoption pulls complete —
+  // that re-replication runs as background/maintenance QoS traffic.
 }
 
 sim::Task<> Manager::HandleDataFailure(sim::NodeId node) {
@@ -501,9 +770,26 @@ sim::Task<> Manager::HandleDataFailure(sim::NodeId node) {
 
 sim::Task<Result<HeartbeatReply>> Manager::HandleHeartbeat(sim::NodeId src,
                                                            HeartbeatRequest req) {
+  const Nanos now = rpc_.machine().loop().Now();
   Liveness& live = liveness_[req.node];
   live.kind = req.kind;
-  live.last_seen = rpc_.machine().loop().Now();
+  if (live.prev_arrival != 0) {
+    live.intervals.push_back(now - live.prev_arrival);
+    while (live.intervals.size() > config_.phi_window) {
+      live.intervals.pop_front();
+    }
+    // A gap that crossed half the eviction floor and then healed is a flap:
+    // stretch this node's effective timeout so repeated near-death episodes
+    // (gray links) don't each race the detector. Quiet time decays it.
+    if (now - live.prev_arrival > config_.fail_timeout / 2) {
+      live.flaps = std::min(live.flaps + 1, config_.max_flap_penalty);
+      live.last_flap = now;
+    } else if (live.flaps > 0 && now - live.last_flap > config_.flap_decay) {
+      live.flaps = 0;
+    }
+  }
+  live.prev_arrival = now;
+  live.last_seen = now;
   HeartbeatReply reply;
   reply.current_view = sm_.current.view;
   reply.is_leader = raft_->is_leader();

@@ -15,6 +15,7 @@
 #ifndef SRC_CLUSTER_MANAGER_H_
 #define SRC_CLUSTER_MANAGER_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -34,7 +35,29 @@ struct ManagerConfig {
   Nanos fail_timeout = Millis(450);    // missed-heartbeat threshold
   Nanos lease_duration = Millis(300);
   Nanos rpc_timeout = Millis(100);
+  // Phi-accrual suspicion (on top of the hard fail_timeout floor): a server
+  // is only evicted once its silence is `phi_threshold` unlikely given its
+  // observed heartbeat inter-arrival mean over the last `phi_window` samples.
+  // A node whose heartbeats are merely slow (gray network) grows a large mean
+  // and is judged against it instead of the wall-clock timeout alone.
+  double phi_threshold = 1.9;
+  uint32_t phi_window = 16;
+  // Flap damping: each near-eviction (a heartbeat gap past fail_timeout/2
+  // that then closed) stretches the node's effective timeout by one extra
+  // fail_timeout, capped at `max_flap_penalty` extras; the count decays to
+  // zero after `flap_decay` of clean heartbeats.
+  uint32_t max_flap_penalty = 3;
+  Nanos flap_decay = Seconds(10);
+  // Live drain: per-pull command timeout (a catchup pull pages through a
+  // whole PG) and the delay between drain retry rounds.
+  Nanos migrate_rpc_timeout = Seconds(2);
+  Nanos drain_retry_delay = Millis(200);
 };
+
+// Phi-accrual suspicion level for a heartbeat gap against the observed mean
+// inter-arrival: phi = -log10(P(gap)) under an exponential arrival model,
+// i.e. 0.4343 * gap / mean. Exposed as a free function for unit tests.
+double PhiSuspicion(Nanos gap, Nanos mean_interarrival);
 
 // Initial cluster layout for Bootstrap().
 struct BootstrapSpec {
@@ -75,11 +98,22 @@ class Manager {
   sim::Task<Status> AddMetaServer(sim::NodeId node);
   sim::Task<Status> AddDataServer(sim::NodeId node, uint32_t disks, uint32_t pvs_per_disk);
 
+  // Planned decommission (leader only): live-migrates every PG the node
+  // serves (Prepare -> DoubleWrite -> Catchup), then cuts the node out of the
+  // CRUSH map in one atomic view bump and retires it. Returns once the drain
+  // completes or aborts. One drain at a time. A leader elected mid-drain
+  // resumes it from the replicated migration state.
+  sim::Task<Status> DrainMetaServer(sim::NodeId node);
+
   // Test hook: force the failure check now.
   sim::Task<> CheckFailuresNow() { return CheckFailures(); }
 
   // Exposed for observability in benches/tests.
   uint64_t topology_changes() const { return topology_changes_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t flap_suppressions() const { return flap_suppressions_; }
+  uint64_t drains_completed() const { return drains_completed_; }
+  bool drain_running() const { return drain_running_; }
 
  private:
   struct TopologyStateMachine : raft::StateMachine {
@@ -101,6 +135,12 @@ class Manager {
   sim::Task<> HandleDataFailure(sim::NodeId node);
   void PushTopologyToAll();
 
+  // Drain state machine body (shared by DrainMetaServer and the mid-drain
+  // leader-change resumption in LeaderLoop).
+  sim::Task<Status> RunDrain(sim::NodeId node);
+  // Effective eviction timeout for one server, flap damping applied.
+  Nanos EffectiveFailTimeout(uint32_t flaps) const;
+
   sim::Task<Result<HeartbeatReply>> HandleHeartbeat(sim::NodeId src, HeartbeatRequest req);
   sim::Task<Result<GetTopologyReply>> HandleGetTopology(sim::NodeId src,
                                                         GetTopologyRequest req);
@@ -117,13 +157,25 @@ class Manager {
   struct Liveness {
     ServerKind kind = ServerKind::kMetaServer;
     Nanos last_seen = 0;
+    // Phi-accrual inter-arrival window. `prev_arrival` is 0 until the first
+    // heartbeat after creation (or a leader-change grace reset), so a stale
+    // epoch never pollutes the sample stream.
+    std::deque<Nanos> intervals;
+    Nanos prev_arrival = 0;
+    // Flap damping: near-evictions that healed, decayed after quiet time.
+    uint32_t flaps = 0;
+    Nanos last_flap = 0;
   };
   std::map<sim::NodeId, Liveness> liveness_;
   std::set<sim::NodeId> handling_failure_;  // avoid double-handling
   bool mutating_ = false;
+  bool drain_running_ = false;
   PvId next_pv_id_ = 1;
   LvId next_lv_id_ = 1;
   uint64_t topology_changes_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t flap_suppressions_ = 0;
+  uint64_t drains_completed_ = 0;
 };
 
 }  // namespace cheetah::cluster

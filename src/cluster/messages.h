@@ -89,6 +89,25 @@ struct RecoverVolumeRequest {
   size_t wire_size() const { return 52; }
 };
 
+// Manager -> migration destination: pull `pg`'s full history (MetaX rows,
+// PG/PX logs, OPDONE markers) from `source` and merge it locally. Sent during
+// the Catchup phase of a drain; the reply arriving means the destination
+// holds everything the source had when the pull finished — double-write
+// covers the rest, so cutover is safe.
+struct MigratePgReply {
+  MigratePgReply() = default;
+  uint64_t kvs_pulled = 0;
+  size_t wire_size() const { return 16; }
+};
+struct MigratePgRequest {
+  using Response = MigratePgReply;
+  MigratePgRequest() = default;
+  uint64_t view = 0;
+  PgId pg = 0;
+  sim::NodeId source = sim::kInvalidNode;
+  size_t wire_size() const { return 32; }
+};
+
 // Data server -> manager: volume recovery finished.
 struct RecoveryDoneReply {
   RecoveryDoneReply() = default;

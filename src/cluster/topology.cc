@@ -77,6 +77,21 @@ std::string TopologyMap::Serialize() const {
       PutVarint64(&body, lv);
     }
   }
+  PutVarint64(&body, migrations.size());
+  for (const auto& [pg, mig] : migrations) {
+    PutVarint64(&body, pg);
+    body.push_back(static_cast<char>(mig.phase));
+    PutVarint64(&body, mig.source);
+    PutVarint64(&body, mig.destination);
+  }
+  PutVarint64(&body, draining_metas.size());
+  for (sim::NodeId n : draining_metas) {
+    PutVarint64(&body, n);
+  }
+  PutVarint64(&body, retired_metas.size());
+  for (sim::NodeId n : retired_metas) {
+    PutVarint64(&body, n);
+  }
   std::string out;
   PutFixed32(&out, Crc32c(body));
   out += body;
@@ -168,6 +183,32 @@ Result<TopologyMap> TopologyMap::Deserialize(std::string_view data) {
       list.push_back(static_cast<LvId>(v));
     }
   }
+  RETURN_IF_ERROR(need(GetVarint64(&data, &n)));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t pg = 0;
+    RETURN_IF_ERROR(need(GetVarint64(&data, &pg)));
+    if (data.empty()) {
+      return Status::Corruption("topology migration phase");
+    }
+    PgMigration mig;
+    mig.phase = static_cast<MigrationPhase>(data.front());
+    data.remove_prefix(1);
+    uint64_t src = 0, dst = 0;
+    RETURN_IF_ERROR(need(GetVarint64(&data, &src) && GetVarint64(&data, &dst)));
+    mig.source = static_cast<sim::NodeId>(src);
+    mig.destination = static_cast<sim::NodeId>(dst);
+    map.migrations[static_cast<PgId>(pg)] = mig;
+  }
+  RETURN_IF_ERROR(need(GetVarint64(&data, &n)));
+  for (uint64_t i = 0; i < n; ++i) {
+    RETURN_IF_ERROR(need(GetVarint64(&data, &v)));
+    map.draining_metas.push_back(static_cast<sim::NodeId>(v));
+  }
+  RETURN_IF_ERROR(need(GetVarint64(&data, &n)));
+  for (uint64_t i = 0; i < n; ++i) {
+    RETURN_IF_ERROR(need(GetVarint64(&data, &v)));
+    map.retired_metas.push_back(static_cast<sim::NodeId>(v));
+  }
   return map;
 }
 
@@ -177,7 +218,10 @@ bool TopologyMap::SameShape(const TopologyMap& other) const {
          meta_crush.items().size() == other.meta_crush.items().size() &&
          data_servers == other.data_servers && pvs.size() == other.pvs.size() &&
          lvs.size() == other.lvs.size() && vgs.size() == other.vgs.size() &&
-         ec_vgs.size() == other.ec_vgs.size();
+         ec_vgs.size() == other.ec_vgs.size() &&
+         migrations.size() == other.migrations.size() &&
+         draining_metas == other.draining_metas &&
+         retired_metas == other.retired_metas;
 }
 
 }  // namespace cheetah::cluster

@@ -9,6 +9,7 @@
 #ifndef SRC_CLUSTER_TOPOLOGY_H_
 #define SRC_CLUSTER_TOPOLOGY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -51,6 +52,27 @@ struct LogicalVolume {
   uint64_t TotalBlocks() const { return capacity_bytes / block_size; }
 };
 
+// Live PG migration phases for a planned drain (Prepare -> DoubleWrite ->
+// Catchup -> Cutover -> Release). Only the first three are *states* in the
+// topology: Cutover is the atomic view bump that removes the draining node
+// from the CRUSH map and erases the migration entries, and Release is the
+// post-cutover cleanup (the drained node is retired, forwarding stops because
+// the entries are gone).
+enum class MigrationPhase : uint8_t {
+  kPrepare = 0,     // destination chosen, published; no traffic forwarded yet
+  kDoubleWrite = 1, // source additionally replicates every write to the dest
+  kCatchup = 2,     // dest is pulling the PG's history; double-write continues
+};
+
+// One PG's in-flight migration, replicated in the topology so every server
+// and proxy agrees on who forwards where at each view.
+struct PgMigration {
+  PgMigration() = default;
+  MigrationPhase phase = MigrationPhase::kPrepare;
+  sim::NodeId source = sim::kInvalidNode;       // current primary being drained
+  sim::NodeId destination = sim::kInvalidNode;  // post-cutover owner
+};
+
 struct TopologyMap {
   TopologyMap() = default;
 
@@ -67,6 +89,15 @@ struct TopologyMap {
   // allocation never lands on a stripe (and vice versa). Empty when the EC
   // tier is disabled.
   std::map<PgId, std::vector<LvId>> ec_vgs;
+  // In-flight planned migrations, keyed by PG. Non-empty only while a drain
+  // is running; cutover erases every entry in the same view bump that removes
+  // the drained node from the CRUSH map.
+  std::map<PgId, PgMigration> migrations;
+  // Meta servers mid-drain (still CRUSH members, shedding primaries) and
+  // retired ones (drained + removed; the re-admission sweep must skip them or
+  // a decommissioned node would instantly rejoin on its next heartbeat).
+  std::vector<sim::NodeId> draining_metas;
+  std::vector<sim::NodeId> retired_metas;
 
   // --- derived lookups ---
   PgId PgOf(std::string_view object_name) const {
@@ -86,6 +117,18 @@ struct TopologyMap {
   const PhysicalVolume* FindPv(PvId id) const {
     auto it = pvs.find(id);
     return it == pvs.end() ? nullptr : &it->second;
+  }
+  const PgMigration* MigrationOf(PgId pg) const {
+    auto it = migrations.find(pg);
+    return it == migrations.end() ? nullptr : &it->second;
+  }
+  bool IsDraining(sim::NodeId node) const {
+    return std::find(draining_metas.begin(), draining_metas.end(), node) !=
+           draining_metas.end();
+  }
+  bool IsRetired(sim::NodeId node) const {
+    return std::find(retired_metas.begin(), retired_metas.end(), node) !=
+           retired_metas.end();
   }
 
   // PGs for which `node` is in the replica set / is primary.

@@ -26,7 +26,8 @@ ClientProxy::ClientProxy(rpc::Node& rpc, CheetahOptions options,
                 scope_.counter("read_repairs"),
                 scope_.counter("inline_puts"),
                 scope_.counter("ec_degraded_reads"),
-                scope_.counter("ec_chunk_repairs")} {}
+                scope_.counter("ec_chunk_repairs"),
+                scope_.counter("fast_redirects")} {}
 
 ClientProxy::MetaWindow& ClientProxy::WindowFor(sim::NodeId dst) {
   auto it = windows_.find(dst);
@@ -141,6 +142,42 @@ sim::Task<> ClientProxy::BackoffAndRefresh(int attempt) {
   (void)co_await RefreshTopology();
 }
 
+uint64_t ClientProxy::StaleViewHint(const Status& s) {
+  const std::string& msg = s.message();
+  static constexpr const char kTag[] = "server at view ";
+  const size_t pos = msg.rfind(kTag);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  uint64_t view = 0;
+  for (size_t i = pos + sizeof(kTag) - 1;
+       i < msg.size() && msg[i] >= '0' && msg[i] <= '9'; ++i) {
+    view = view * 10 + static_cast<uint64_t>(msg[i] - '0');
+  }
+  return view;
+}
+
+sim::Task<> ClientProxy::ChaseStaleView(const Status& s) {
+  const uint64_t hint = StaleViewHint(s);
+  if (hint > topo_.view) {
+    counters_.fast_redirects->Add();
+    // The server is provably ahead: poll the managers until the replicated
+    // topology catches up to the hinted view. No jittered sleep between
+    // rounds — the view is already committed somewhere, the only latency is
+    // Raft apply + push propagation, which the short fixed pause covers.
+    for (int round = 0; round < 8 && topo_.view < hint; ++round) {
+      (void)co_await RefreshTopology();
+      if (topo_.view >= hint) {
+        break;
+      }
+      co_await sim::SleepFor(Millis(5) * (round + 1));
+    }
+    co_return;
+  }
+  // No usable hint (e.g. "not the primary of this pg"): plain refresh.
+  (void)co_await RefreshTopology();
+}
+
 // ---- put ----
 
 sim::Task<Status> ClientProxy::Put(std::string name, std::string data) {
@@ -171,7 +208,7 @@ sim::Task<Status> ClientProxy::PutImpl(std::string name, std::string data) {
     }
     counters_.retries->Add();
     if (s.IsStaleView()) {
-      (void)co_await RefreshTopology();
+      co_await ChaseStaleView(s);
     } else if (s.IsOverloaded()) {
       // Admission-control pushback, not a failure: honor the server's
       // retry-after hint without escalating to RE-META or refreshing views.
@@ -408,7 +445,7 @@ sim::Task<Result<std::string>> ClientProxy::GetImpl(std::string name) {
         ReportSuspect(primary);
       }
       if (meta.status().IsStaleView()) {
-        (void)co_await RefreshTopology();
+        co_await ChaseStaleView(meta.status());
       } else if (meta.status().IsOverloaded()) {
         co_await sim::SleepFor(
             qos::RetryAfterOf(meta.status(), options_.backoff_base));
@@ -744,7 +781,7 @@ sim::Task<Status> ClientProxy::DeleteImpl(std::string name) {
       ReportSuspect(primary);
     }
     if (r.status().IsStaleView()) {
-      (void)co_await RefreshTopology();
+      co_await ChaseStaleView(r.status());
     } else if (r.status().IsOverloaded()) {
       co_await sim::SleepFor(
           qos::RetryAfterOf(r.status(), options_.backoff_base));

@@ -59,6 +59,7 @@ class ClientProxy {
     uint64_t inline_puts = 0;            // objects stored in the MetaX record
     uint64_t ec_degraded_reads = 0;      // EC gets that needed reconstruction
     uint64_t ec_chunk_repairs = 0;       // stripe chunks rewritten after a get
+    uint64_t fast_redirects = 0;         // stale-view NACKs chased sans backoff
   };
   Stats stats() const {
     return Stats{counters_.puts->value(),    counters_.gets->value(),
@@ -68,12 +69,18 @@ class ClientProxy {
                  counters_.read_repairs->value(),
                  counters_.inline_puts->value(),
                  counters_.ec_degraded_reads->value(),
-                 counters_.ec_chunk_repairs->value()};
+                 counters_.ec_chunk_repairs->value(),
+                 counters_.fast_redirects->value()};
   }
 
   uint64_t view() const { return topo_.view; }
   const cluster::TopologyMap& topology() const { return topo_; }
   uint32_t proxy_id() const { return proxy_id_; }
+
+  // Stale-view NACKs from meta servers carry the server's view number
+  // ("server at view N"); returns it, or 0 when the message has no hint.
+  // Public (and static) so the parsing contract is unit-testable.
+  static uint64_t StaleViewHint(const Status& s);
 
  private:
   struct PersistWait {
@@ -116,6 +123,12 @@ class ClientProxy {
   sim::Task<Status> RefreshTopology();
   void ReportSuspect(sim::NodeId node);
   sim::Task<> BackoffAndRefresh(int attempt);
+
+  // Fast redirect: chase the managers for a topology at least as fresh as the
+  // NACK's view hint, retrying immediately instead of entering the
+  // decorrelated-jitter backoff cycle. Used after a migration cutover bumps
+  // the view: the proxy re-pulls and re-sends to the new owner right away.
+  sim::Task<> ChaseStaleView(const Status& s);
 
   // One full put attempt; the caller loops on retryable failures.
   sim::Task<Status> PutAttempt(const std::string& name, const std::string& data,
@@ -181,6 +194,7 @@ class ClientProxy {
     obs::Counter* inline_puts;
     obs::Counter* ec_degraded_reads;
     obs::Counter* ec_chunk_repairs;
+    obs::Counter* fast_redirects;
   } counters_;
 };
 

@@ -166,7 +166,12 @@ struct PgPullRequest {
   // PG/PX logs ride with the final page.
   std::string start_after;
   uint32_t limit = 4096;  // max OBMETA rows per page
-  size_t wire_size() const { return 28 + start_after.size(); }
+  // When non-zero the source must have adopted at least this view before
+  // serving the pull. Migration catchup sets it to the DoubleWrite view: a
+  // source still on the older view is not forwarding writes yet, so a scan
+  // against it could miss writes that land after the page passes them.
+  uint64_t min_view = 0;
+  size_t wire_size() const { return 36 + start_after.size(); }
 };
 
 // ---- proxy/meta -> data server ----

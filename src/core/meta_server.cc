@@ -90,6 +90,11 @@ void MetaServer::Start() {
         return HandlePgPull(src, std::move(req));
       },
       qos::TrafficClass::kBackground);
+  rpc_.Serve<cluster::MigratePgRequest>(
+      [this](sim::NodeId src, cluster::MigratePgRequest req) {
+        return HandleMigratePg(src, std::move(req));
+      },
+      qos::TrafficClass::kMaintenance);
   rpc_.Serve<cluster::TopologyPush>([this](sim::NodeId src, cluster::TopologyPush req) {
     return HandleTopologyPush(src, std::move(req));
   });
@@ -453,7 +458,17 @@ sim::Task<Status> MetaServer::PersistAndReplicate(
   }
   std::vector<sim::Task<Status>> tasks;
   tasks.push_back(db_->Write(std::move(batch)));
-  for (sim::NodeId backup : topo_.MetaServersOf(pg)) {
+  std::vector<sim::NodeId> targets = topo_.MetaServersOf(pg);
+  // Live migration double-write: from the DoubleWrite phase on, every batch
+  // also lands on the migration destination, so anything written after the
+  // catchup scan started is already there when cutover makes it the owner.
+  if (const cluster::PgMigration* mig = topo_.MigrationOf(pg);
+      mig != nullptr && mig->phase >= cluster::MigrationPhase::kDoubleWrite &&
+      mig->destination != sim::kInvalidNode &&
+      std::find(targets.begin(), targets.end(), mig->destination) == targets.end()) {
+    targets.push_back(mig->destination);
+  }
+  for (sim::NodeId backup : targets) {
     if (backup == rpc_.id()) {
       continue;
     }
@@ -518,8 +533,15 @@ sim::Task<Result<GetMetaReply>> MetaServer::HandleGet(sim::NodeId src, GetMetaRe
   CO_RETURN_IF_ERROR(CheckRequest(req.view, pg, /*need_primary=*/true));
   counters_.gets->Add();
 
-  if (pending_names_.contains(req.name)) {
-    co_await WaitPendingResolved(req.name, Millis(5));
+  if (auto it = pending_names_.find(req.name); it != pending_names_.end()) {
+    // A recovered entry will never see its commit notification (see
+    // PendingPut::recovered) — waiting for one would make the first get of
+    // every adopted object eat the full budget, turning a view change into a
+    // visible latency spike. Go straight to verification instead.
+    auto pit = pending_.find(it->second);
+    if (pit == pending_.end() || !pit->second.recovered) {
+      co_await WaitPendingResolved(req.name, Millis(5));
+    }
   }
   if (auto it = pending_names_.find(req.name); it != pending_names_.end()) {
     // §4.3.2: a get for a pending object makes the primary check whether the
@@ -590,35 +612,51 @@ sim::Task<Status> MetaServer::VerifyPending(ReqId reqid) {
     counters_.completed_puts->Add();
     co_return Status::Ok();
   }
-  const cluster::LogicalVolume* lv = topo_.FindLv(p.meta.lvid);
-  if (lv == nullptr) {
-    co_return Status::Unavailable("volume missing during verify");
+  // Snapshot every topology-derived field before the first co_await: a
+  // topology push move-assigns topo_ while this coroutine is suspended,
+  // invalidating any LogicalVolume/PhysicalVolume pointer held across it.
+  struct ProbeTarget {
+    std::string device;
+    uint32_t disk_index = 0;
+    sim::NodeId data_server = sim::kInvalidNode;
+  };
+  uint32_t block_size = 0;
+  std::vector<ProbeTarget> targets;
+  {
+    const cluster::LogicalVolume* lv = topo_.FindLv(p.meta.lvid);
+    if (lv == nullptr) {
+      co_return Status::Unavailable("volume missing during verify");
+    }
+    block_size = lv->block_size;
+    for (cluster::PvId pv_id : lv->replicas) {
+      const cluster::PhysicalVolume* pv = topo_.FindPv(pv_id);
+      if (pv == nullptr) {
+        continue;
+      }
+      targets.push_back({pv->DeviceName(), pv->disk_index, pv->data_server});
+    }
   }
   int present = 0;
   int definitive = 0;
-  std::vector<const cluster::PhysicalVolume*> missing;
-  const cluster::PhysicalVolume* good = nullptr;
-  for (cluster::PvId pv_id : lv->replicas) {
-    const cluster::PhysicalVolume* pv = topo_.FindPv(pv_id);
-    if (pv == nullptr) {
-      continue;
-    }
+  std::vector<const ProbeTarget*> missing;
+  const ProbeTarget* good = nullptr;
+  for (const ProbeTarget& t : targets) {
     DataProbeRequest probe;
-    probe.device = pv->DeviceName();
-    probe.disk_index = pv->disk_index;
-    probe.block_size = lv->block_size;
+    probe.device = t.device;
+    probe.disk_index = t.disk_index;
+    probe.block_size = block_size;
     probe.extents = p.meta.extents;
     probe.expected_checksum = p.meta.checksum;
-    auto r = co_await rpc_.Call(pv->data_server, std::move(probe), options_.rpc_timeout);
+    auto r = co_await rpc_.Call(t.data_server, std::move(probe), options_.rpc_timeout);
     if (!r.ok()) {
       continue;  // indeterminate
     }
     ++definitive;
     if (r->present) {
       ++present;
-      good = pv;
+      good = &t;
     } else {
-      missing.push_back(pv);
+      missing.push_back(&t);
     }
   }
   if (definitive == 0) {
@@ -633,25 +671,25 @@ sim::Task<Status> MetaServer::VerifyPending(ReqId reqid) {
   if (!missing.empty() && good != nullptr) {
     // Partially replicated: complete the put by copying from a good replica.
     DataReadRequest read;
-    read.device = good->DeviceName();
+    read.device = good->device;
     read.disk_index = good->disk_index;
-    read.block_size = lv->block_size;
+    read.block_size = block_size;
     read.extents = p.meta.extents;
     read.length = p.meta.size;
     auto data = co_await rpc_.Call(good->data_server, std::move(read), options_.rpc_timeout);
     if (!data.ok()) {
       co_return Status::Unavailable("repair read failed");
     }
-    for (const cluster::PhysicalVolume* pv : missing) {
+    for (const ProbeTarget* t : missing) {
       DataWriteRequest write;
       write.view = topo_.view;
-      write.device = pv->DeviceName();
-      write.disk_index = pv->disk_index;
-      write.block_size = lv->block_size;
+      write.device = t->device;
+      write.disk_index = t->disk_index;
+      write.block_size = block_size;
       write.extents = p.meta.extents;
       write.data = data->data;
       write.checksum = p.meta.checksum;
-      auto w = co_await rpc_.Call(pv->data_server, std::move(write), options_.rpc_timeout);
+      auto w = co_await rpc_.Call(t->data_server, std::move(write), options_.rpc_timeout);
       if (!w.ok()) {
         co_return Status::Unavailable("repair write failed");
       }
@@ -727,8 +765,16 @@ sim::Task<Result<DeleteReply>> MetaServer::HandleDelete(sim::NodeId src, DeleteR
       co_return DeleteReply{};
     }
   }
-  if (pending_names_.contains(req.name)) {
-    co_await WaitPendingResolved(req.name, Millis(5));
+  if (auto it = pending_names_.find(req.name); it != pending_names_.end()) {
+    auto pit = pending_.find(it->second);
+    if (pit != pending_.end() && pit->second.recovered) {
+      // No commit notification is coming for a recovered entry; resolve it
+      // by probing the data servers rather than waiting out the budget and
+      // bouncing the delete.
+      (void)co_await VerifyPending(it->second);
+    } else {
+      co_await WaitPendingResolved(req.name, Millis(5));
+    }
     if (pending_names_.contains(req.name)) {
       co_return Status::Unavailable("object has an in-flight put");
     }
@@ -791,6 +837,12 @@ sim::Task<Result<PgPullReply>> MetaServer::HandlePgPull(sim::NodeId src, PgPullR
   if (db_ == nullptr) {
     co_return Status::Unavailable("initializing");
   }
+  if (req.min_view > topo_.view) {
+    // Migration catchup: until this server adopts the DoubleWrite view it is
+    // not forwarding writes, so serving the scan now could hand the puller a
+    // page that a subsequent un-forwarded write silently invalidates.
+    co_return Status::StaleView("server at view " + std::to_string(topo_.view));
+  }
   PgPullReply reply;
   // Paged OBMETA scan: transferring a PG in bounded chunks keeps any single
   // message (and the puller's memory) bounded during recovery.
@@ -841,6 +893,62 @@ sim::Task<Result<PgPullReply>> MetaServer::HandlePgPull(sim::NodeId src, PgPullR
     counters_.pg_pulls_served->Add();
   }
   co_return reply;
+}
+
+// ---- live migration catchup ----
+
+sim::Task<Result<cluster::MigratePgReply>> MetaServer::HandleMigratePg(
+    sim::NodeId src, cluster::MigratePgRequest req) {
+  if (db_ == nullptr) {
+    co_return Status::Unavailable("initializing");
+  }
+  // This server is the migration destination: it needs the DoubleWrite
+  // topology first (so the source is forwarding before the scan runs). The
+  // push usually beat this command here; wait briefly if not.
+  for (int i = 0; i < 20 && topo_.view < req.view; ++i) {
+    co_await sim::SleepFor(Millis(50));
+  }
+  if (topo_.view < req.view) {
+    co_return Status::Unavailable("destination behind the migration view");
+  }
+  // Pull the PG page by page from the source and merge (pure merge: deletes
+  // are tombstone records, keys are only ever added or overwritten). A page
+  // scanned before a concurrent write can land after its forwarded copy and
+  // briefly regress that key; the destination's adoption pull at cutover
+  // re-reads the source's final state, so the regression cannot outlive the
+  // migration. What catchup buys is having the bulk of the PG already
+  // persisted here, so cutover never depends on the drained node surviving
+  // it.
+  sim::NodeId source = req.source;
+  if (source == rpc_.id() || source == sim::kInvalidNode) {
+    co_return Status::InvalidArgument("bad migration source");
+  }
+  cluster::MigratePgReply reply;
+  std::string cursor;
+  for (int page = 0; page < 100000; ++page) {
+    PgPullRequest pull;
+    pull.view = topo_.view;
+    pull.pg = req.pg;
+    pull.start_after = cursor;
+    pull.limit = 512;
+    pull.min_view = req.view;
+    auto r = co_await rpc_.Call(source, std::move(pull), options_.rpc_timeout);
+    if (!r.ok()) {
+      co_return r.status();
+    }
+    kv::WriteBatch batch;
+    for (auto& [k, v] : r->kvs) {
+      batch.Put(k, v);
+    }
+    reply.kvs_pulled += r->kvs.size();
+    counters_.recovered_kvs->Add(r->kvs.size());
+    CO_RETURN_IF_ERROR(co_await db_->Write(std::move(batch)));
+    if (r->next_start_after.empty()) {
+      co_return reply;
+    }
+    cursor = r->next_start_after;
+  }
+  co_return Status::Internal("migration pull did not terminate");
 }
 
 // ---- topology adoption ----
@@ -1098,6 +1206,7 @@ sim::Task<> MetaServer::RebuildPgState(cluster::PgId pg) {
       p.proxy_id = proxy_id;
       p.meta = std::move(*meta);
       p.persisted = true;  // it is in the KV, after all
+      p.recovered = true;
       p.born = now;
       pending_[reqid] = p;
       pending_names_[p.name] = reqid;

@@ -103,6 +103,11 @@ class MetaServer {
     ObMeta meta;
     bool committed = false;
     bool persisted = false;
+    // Rebuilt from the PG log (restart or PG adoption) rather than created by
+    // a live put: the proxy's commit notification went to the replicas of
+    // record at put time, so none is coming here — readers should verify
+    // immediately instead of waiting for one.
+    bool recovered = false;
     Nanos born = 0;
   };
 
@@ -150,6 +155,10 @@ class MetaServer {
   sim::Task<Result<ReplicateMetaXReply>> HandleReplicate(sim::NodeId src,
                                                          ReplicateMetaXRequest req);
   sim::Task<Result<PgPullReply>> HandlePgPull(sim::NodeId src, PgPullRequest req);
+  // Migration catchup: this server is the destination; pull the PG from the
+  // drain source and merge it (maintenance QoS class).
+  sim::Task<Result<cluster::MigratePgReply>> HandleMigratePg(sim::NodeId src,
+                                                             cluster::MigratePgRequest req);
   sim::Task<Result<cluster::TopologyPushReply>> HandleTopologyPush(sim::NodeId src,
                                                                    cluster::TopologyPush req);
 

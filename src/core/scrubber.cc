@@ -37,7 +37,10 @@ sim::Task<> Scrubber::ScrubAll() {
     co_return;
   }
   for (cluster::PgId pg = 0; pg < ms_.topo_.pg_count; ++pg) {
-    if (ms_.IsPrimary(pg) && ms_.ready_pgs_.contains(pg)) {
+    // PGs mid-migration are skipped outright: a scrub repair racing the
+    // cutover could write through topology targets the next view retires.
+    if (ms_.IsPrimary(pg) && ms_.ready_pgs_.contains(pg) &&
+        ms_.topo_.MigrationOf(pg) == nullptr) {
       co_await ScrubPg(pg);
     }
   }
@@ -55,8 +58,9 @@ sim::Task<> Scrubber::ScrubPg(cluster::PgId pg) {
     co_return;
   }
   for (const auto& [key, value] : *rows) {
-    if (ms_.topo_.view != scrub_view || !ms_.IsPrimary(pg)) {
-      co_return;  // superseded by a view change
+    if (ms_.topo_.view != scrub_view || !ms_.IsPrimary(pg) ||
+        ms_.topo_.MigrationOf(pg) != nullptr) {
+      co_return;  // superseded by a view change or an in-flight migration
     }
     cluster::PgId key_pg = 0;
     std::string name;

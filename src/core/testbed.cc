@@ -137,6 +137,22 @@ Status Testbed::RunManagerAction(std::function<sim::Task<Status>(cluster::Manage
   return Status::Unavailable("manager action failed across retries");
 }
 
+bool Testbed::SpawnManagerAction(std::function<sim::Task<Status>(cluster::Manager&)> action) {
+  const int leader = LeaderManager();
+  if (leader < 0) {
+    return false;
+  }
+  managers_[leader].machine->actor().Spawn(
+      [](cluster::Manager* m,
+         std::function<sim::Task<Status>(cluster::Manager&)> action) -> sim::Task<> {
+        Status s = co_await action(*m);
+        if (!s.ok()) {
+          LOG_DEBUG << "manager action: " << s.ToString();
+        }
+      }(managers_[leader].manager.get(), std::move(action)));
+  return true;
+}
+
 Status Testbed::Boot() {
   for (auto& m : managers_) {
     m.machine->actor().Spawn([](cluster::Manager* mgr) -> sim::Task<> {
@@ -437,6 +453,54 @@ Result<int> Testbed::AddMetaMachine(bool settle) {
     loop_.RunFor(Seconds(1));  // let adoption/pulls settle
   }
   return static_cast<int>(metas_.size() - 1);
+}
+
+int Testbed::BeginAddMetaMachine() {
+  metas_.push_back(MakeMetaBundle(next_meta_id_, static_cast<int>(metas_.size())));
+  const sim::NodeId id = next_meta_id_++;
+  metas_.back().server->Start();
+  (void)SpawnManagerAction(
+      [id](cluster::Manager& m) { return m.AddMetaServer(id); });
+  return static_cast<int>(metas_.size() - 1);
+}
+
+int Testbed::BeginAddDataMachine(uint32_t disks, uint32_t pvs_per_disk) {
+  datas_.push_back(MakeDataBundle(next_data_id_, disks));
+  const sim::NodeId id = next_data_id_++;
+  datas_.back().server->Start();
+  (void)SpawnManagerAction([id, disks, pvs_per_disk](cluster::Manager& m) {
+    return m.AddDataServer(id, disks, pvs_per_disk);
+  });
+  return static_cast<int>(datas_.size() - 1);
+}
+
+bool Testbed::BeginDrainMetaMachine(int i) {
+  const sim::NodeId node = meta_node(i);
+  return SpawnManagerAction(
+      [node](cluster::Manager& m) { return m.DrainMetaServer(node); });
+}
+
+Status Testbed::DrainMetaMachine(int i, Nanos budget) {
+  const sim::NodeId node = meta_node(i);
+  if (!BeginDrainMetaMachine(i)) {
+    return Status::Unavailable("no manager leader to start the drain");
+  }
+  const Nanos deadline = loop_.Now() + budget;
+  while (loop_.Now() < deadline) {
+    const int leader = LeaderManager();
+    if (leader >= 0) {
+      const cluster::TopologyMap& topo = managers_[leader].manager->topology();
+      if (topo.IsRetired(node)) {
+        return Status::Ok();
+      }
+      // Aborted: the drain target died mid-drain and was evicted instead.
+      if (!topo.meta_crush.HasItem(node) && !topo.IsDraining(node)) {
+        return Status::Unavailable("drain target evicted before retirement");
+      }
+    }
+    loop_.RunFor(Millis(50));
+  }
+  return Status::Timeout("drain did not complete in budget");
 }
 
 Result<int> Testbed::AddDataMachine(uint32_t disks, uint32_t pvs_per_disk) {

@@ -136,6 +136,23 @@ class Testbed {
   Result<int> AddMetaMachine(bool settle = true);
   Result<int> AddDataMachine(uint32_t disks, uint32_t pvs_per_disk);
 
+  // ---- membership lifecycle (non-blocking variants) ----
+  // The blocking helpers above drive the event loop internally, so they can't
+  // be called from inside the loop (a nemesis callback, a workload coroutine,
+  // or a bench that is already pumping the loop). These Begin* variants wire
+  // any new hardware synchronously, spawn the manager-side mutation on the
+  // current Raft leader's actor, and return immediately; callers observe the
+  // result through the topology (view bump / retired_metas).
+  int BeginAddMetaMachine();
+  int BeginAddDataMachine(uint32_t disks, uint32_t pvs_per_disk);
+  // Starts a planned drain of meta machine i on the current leader. The drain
+  // itself survives leader changes (it is resumed from replicated state), so
+  // one successful Begin is enough. Returns false when no leader is up.
+  bool BeginDrainMetaMachine(int i);
+  // Blocking drain: begins the drain and drives the loop until the node is
+  // retired from the topology or `budget` virtual time elapses.
+  Status DrainMetaMachine(int i, Nanos budget = Seconds(60));
+
   const TestbedConfig& config() const { return config_; }
   std::vector<sim::NodeId> manager_nodes() const { return manager_nodes_; }
 
@@ -170,6 +187,9 @@ class Testbed {
 
   // Runs a leader-only manager action, retrying across leader changes.
   Status RunManagerAction(std::function<sim::Task<Status>(cluster::Manager&)> action);
+  // Fire-and-forget variant: spawns the action on the current leader's actor
+  // without driving the loop. Returns false when no leader is known.
+  bool SpawnManagerAction(std::function<sim::Task<Status>(cluster::Manager&)> action);
 
   TestbedConfig config_;
   sim::EventLoop loop_;

@@ -38,7 +38,10 @@ sim::Task<> TierEngine::TierAll() {
     co_return;
   }
   for (cluster::PgId pg = 0; pg < ms_.topo_.pg_count; ++pg) {
-    if (ms_.IsPrimary(pg) && ms_.ready_pgs_.contains(pg)) {
+    // Never demote out of a PG mid-migration: the multi-step extent swap
+    // races both the catchup scan and the cutover's ownership flip.
+    if (ms_.IsPrimary(pg) && ms_.ready_pgs_.contains(pg) &&
+        ms_.topo_.MigrationOf(pg) == nullptr) {
       co_await TierPg(pg);
     }
   }
@@ -56,8 +59,9 @@ sim::Task<> TierEngine::TierPg(cluster::PgId pg) {
     co_return;
   }
   for (const auto& [key, value] : *rows) {
-    if (ms_.topo_.view != scan_view || !ms_.IsPrimary(pg)) {
-      co_return;  // superseded by a view change
+    if (ms_.topo_.view != scan_view || !ms_.IsPrimary(pg) ||
+        ms_.topo_.MigrationOf(pg) != nullptr) {
+      co_return;  // superseded by a view change or an in-flight migration
     }
     cluster::PgId key_pg = 0;
     std::string name;

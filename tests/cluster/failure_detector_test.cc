@@ -1,0 +1,167 @@
+// Failure-detector behaviors (§5.1 plus the phi-accrual/flap-damping layer):
+// suspicion math, detection timing for a hard crash, gray-network flapping
+// that must NOT evict, and re-admission of an evicted-but-alive meta server
+// that keeps serving its data afterwards.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/cluster/manager.h"
+#include "src/core/testbed.h"
+#include "tests/test_util.h"
+
+namespace cheetah::cluster {
+namespace {
+
+core::TestbedConfig DetectorConfig() {
+  core::TestbedConfig config;
+  config.meta_machines = 3;
+  config.data_machines = 4;
+  config.proxies = 1;
+  config.pg_count = 8;
+  config.disks_per_data_machine = 2;
+  config.pvs_per_disk = 3;
+  config.lv_capacity_bytes = MiB(64);
+  return config;
+}
+
+uint64_t TotalEvictions(core::Testbed& bed) {
+  uint64_t sum = 0;
+  for (int i = 0; i < bed.num_managers(); ++i) {
+    sum += bed.manager(i).evictions();
+  }
+  return sum;
+}
+
+// phi = 0.4343 * gap / mean. With the default healthy heartbeat mean of
+// ~100ms, the 1.9 threshold is crossed just below the 450ms hard timeout, so
+// the two layers agree for well-behaved servers.
+TEST(PhiSuspicionTest, ThresholdBoundaryAtHealthyMean) {
+  EXPECT_GT(PhiSuspicion(Millis(450), Millis(100)), 1.9);   // ~1.954
+  EXPECT_LT(PhiSuspicion(Millis(400), Millis(100)), 1.9);   // ~1.737
+}
+
+TEST(PhiSuspicionTest, GrowsWithGapShrinksWithMean) {
+  EXPECT_LT(PhiSuspicion(Millis(200), Millis(100)),
+            PhiSuspicion(Millis(600), Millis(100)));
+  // A node whose heartbeats are merely slow has a large observed mean and is
+  // judged against it: the same absolute gap is far less suspicious.
+  EXPECT_LT(PhiSuspicion(Millis(600), Millis(400)),
+            PhiSuspicion(Millis(600), Millis(100)));
+  EXPECT_LT(PhiSuspicion(Millis(600), Millis(400)), 1.9);
+}
+
+TEST(PhiSuspicionTest, MeanIsFlooredAgainstDegenerateSamples) {
+  // A zero (or absurdly small) observed mean must not make every gap look
+  // infinitely suspicious; the floor pins the math.
+  EXPECT_EQ(PhiSuspicion(Millis(100), Nanos{0}),
+            PhiSuspicion(Millis(100), Millis(10)));
+  EXPECT_EQ(PhiSuspicion(Millis(100), Millis(1)),
+            PhiSuspicion(Millis(100), Millis(10)));
+}
+
+TEST(FailureDetectorTest, HardCrashEvictedWithinBudget) {
+  core::Testbed bed(DetectorConfig());
+  ASSERT_TRUE(bed.Boot().ok());
+  ASSERT_TRUE(bed.PutObject(0, "obj", std::string(4096, 'o')).ok());
+  const sim::NodeId victim = bed.meta_node(1);
+  const uint64_t view_before = bed.manager(bed.LeaderManager()).view();
+  ASSERT_EQ(TotalEvictions(bed), 0u);
+
+  bed.CrashMetaMachine(1, /*power_loss=*/false);
+  // fail_timeout is 450ms; with the check cadence and a view change on top,
+  // 1200ms of virtual time is a generous end-to-end detection budget.
+  bed.RunFor(Millis(1200));
+
+  const TopologyMap& topo = bed.manager(bed.LeaderManager()).topology();
+  EXPECT_GE(TotalEvictions(bed), 1u);
+  EXPECT_FALSE(topo.meta_crush.HasItem(victim));
+  EXPECT_GT(topo.view, view_before);
+  // The survivors still serve the data (re-replicated under the new view).
+  auto got = bed.GetObject(0, "obj");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->size(), 4096u);
+}
+
+// A node whose heartbeats are slow and jittery (gray network) must not be
+// evicted: moderate early gaps count as flaps and stretch its effective
+// timeout, and the phi layer judges later gaps against its grown mean.
+// The delays ramp up — mild first so the damping state builds before the
+// heavy jitter starts — mirroring how real gray failures develop.
+TEST(FailureDetectorTest, FlappingSlowNodeIsNotEvicted) {
+  core::Testbed bed(DetectorConfig());
+  ASSERT_TRUE(bed.Boot().ok());
+  ASSERT_TRUE(bed.PutObject(0, "keep", std::string(4096, 'k')).ok());
+  const sim::NodeId victim = bed.meta_node(1);
+  bed.network().SeedFaults(42);
+
+  // Phase 1 (mild): delayed heartbeats with gaps capped below the 450ms hard
+  // timeout, but often past the 225ms near-eviction line — each such healed
+  // gap is a flap, stretching the node's effective timeout.
+  sim::LinkFaults mild;
+  mild.delay_prob = 0.6;
+  mild.max_extra_delay = Millis(340);
+  for (int m = 0; m < bed.num_managers(); ++m) {
+    bed.network().SetLinkFaults(victim, bed.manager_node(m), mild);
+  }
+  bed.RunFor(Seconds(3));
+  EXPECT_EQ(TotalEvictions(bed), 0u) << "mild jitter must never evict";
+
+  // Phase 2 (heavy): gaps can now exceed the bare 450ms timeout. The flap
+  // damping earned in phase 1 (and the grown inter-arrival mean) must keep
+  // the node in the map.
+  sim::LinkFaults heavy;
+  heavy.delay_prob = 0.6;
+  heavy.max_extra_delay = Millis(500);
+  for (int m = 0; m < bed.num_managers(); ++m) {
+    bed.network().SetLinkFaults(victim, bed.manager_node(m), heavy);
+  }
+  bed.RunFor(Seconds(3));
+
+  bed.network().ClearLinkFaults();
+  bed.RunFor(Seconds(1));
+
+  EXPECT_EQ(TotalEvictions(bed), 0u) << "gray-slow node was evicted";
+  EXPECT_TRUE(bed.manager(bed.LeaderManager()).topology().meta_crush.HasItem(victim));
+  // And it still serves: reads and writes through the cluster stay healthy.
+  auto got = bed.GetObject(0, "keep");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(bed.PutObject(0, "after", std::string(4096, 'a')).ok());
+}
+
+// Unplanned loss -> eviction -> the node comes back. The re-admission sweep
+// must put it back into the CRUSH map, and reads of data it hosted must be
+// served correctly afterwards (its local state is caught up, not trusted
+// blindly).
+TEST(FailureDetectorTest, EvictedButAliveMetaIsReadmittedAndServes) {
+  core::Testbed bed(DetectorConfig());
+  ASSERT_TRUE(bed.Boot().ok());
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "obj-" + std::to_string(i);
+    ASSERT_TRUE(bed.PutObject(0, key, key + std::string(4096, 'd')).ok());
+  }
+  const sim::NodeId victim = bed.meta_node(1);
+
+  bed.CrashMetaMachine(1, /*power_loss=*/false);
+  bed.RunFor(Seconds(2));
+  ASSERT_GE(TotalEvictions(bed), 1u);
+  ASSERT_FALSE(bed.manager(bed.LeaderManager()).topology().meta_crush.HasItem(victim));
+
+  bed.RestartMetaMachine(1);
+  bed.RunFor(Seconds(3));
+  const TopologyMap& topo = bed.manager(bed.LeaderManager()).topology();
+  EXPECT_TRUE(topo.meta_crush.HasItem(victim)) << "restarted meta not re-admitted";
+  EXPECT_FALSE(topo.IsRetired(victim));
+
+  // Every object written before the outage reads back byte-identically.
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "obj-" + std::to_string(i);
+    auto got = bed.GetObject(0, key);
+    ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+    EXPECT_EQ(*got, key + std::string(4096, 'd')) << key;
+  }
+  ASSERT_TRUE(bed.PutObject(0, "fresh", std::string(4096, 'f')).ok());
+}
+
+}  // namespace
+}  // namespace cheetah::cluster
