@@ -15,7 +15,10 @@ ctest --preset "$preset" -j "$(nproc)"
 
 # Chaos tier: the same fixed seeds the suite registered at discovery time,
 # made explicit so the pin survives any future default change.
-# scripts/chaos.sh hunts with larger seed ranges.
+# scripts/chaos.sh hunts with larger seed ranges. The determinism tests in
+# this tier double as engine-fingerprint guards: each sweep replays one run
+# under the reference heap engine and requires a byte-identical schedule and
+# history versus the default timer wheel.
 CHEETAH_CHAOS_SEEDS=1,2,3 ctest --preset "$preset" -L chaos -j "$(nproc)"
 
 # QoS tier: the scheduler/admission unit tests plus the chaos-with-QoS run
@@ -51,3 +54,11 @@ CHEETAH_EC_SMOKE=1 "$builddir/bench/ec_tradeoffs"
 # completed drain, and a clean full audit afterwards.
 CHEETAH_MIGRATE_SEEDS=1,2 ctest --preset "$preset" -L migrate -j "$(nproc)"
 CHEETAH_RESIZE_SMOKE=1 "$builddir/bench/resize_under_fire"
+
+# Perf tier: simulator engine internals (timer wheel vs reference heap,
+# InlineFn, Arena, AnyMsg, callback lifecycle; ctest label `perf`), then the
+# engine microbench at reduced scale — it asserts the legacy/heap/wheel
+# fingerprints are bit-identical and that the wheel clears a conservative
+# throughput floor over the legacy priority_queue loop.
+ctest --preset "$preset" -L perf -j "$(nproc)"
+CHEETAH_SIM_ENGINE_SMOKE=1 "$builddir/bench/sim_engine_speed"

@@ -1,0 +1,12 @@
+#include "src/common/arena.h"
+
+namespace cheetah {
+
+// Out of line deliberately: coroutine frame allocation routes through these
+// so the compiler cannot trace the pointer back to the oversized path's
+// ::operator new and mispair it with the promise's sized operator delete
+// (-Wmismatched-new-delete false positive).
+void* PoolAlloc(size_t size) { return GlobalPool().Alloc(size); }
+void PoolFree(void* p, size_t size) noexcept { GlobalPool().Free(p, size); }
+
+}  // namespace cheetah

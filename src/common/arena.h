@@ -1,0 +1,201 @@
+// Arena: a bump-pointer allocator with size-class recycling for the
+// simulator's transient objects (event captures, RPC envelopes, delivery
+// records).
+//
+// Allocation bumps a pointer inside a large chunk; freeing pushes the block
+// onto a per-size-class free list that subsequent allocations of the same
+// class pop in O(1). Memory is therefore bounded by the peak number of
+// objects live at once, not by the total allocated over the run, while the
+// common alloc/free pair costs a handful of instructions and never touches
+// malloc. Reset() — legal only at quiescent points, when nothing is live —
+// rewinds the bump pointer and drops the free lists so long runs reconverge
+// to densely packed chunks.
+//
+// Single-threaded, like everything else in the simulator. Blocks larger than
+// kMaxPooled bytes pass through to operator new (counted, so oversized hot
+// paths are visible in stats).
+#ifndef SRC_COMMON_ARENA_H_
+#define SRC_COMMON_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace cheetah {
+
+class Arena {
+ public:
+  static constexpr size_t kGranule = 16;
+  static constexpr size_t kMaxPooled = 1024;
+
+  explicit Arena(size_t chunk_bytes = 256 * 1024) : chunk_bytes_(chunk_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Alloc(size_t size) {
+    ++allocs_;
+    ++live_;
+    if (size > kMaxPooled) {
+      ++oversized_;
+      return ::operator new(size);
+    }
+    const size_t cls = ClassOf(size);
+    if (FreeNode* node = free_[cls]) {
+      free_[cls] = node->next;
+      return node;
+    }
+    const size_t bytes = (cls + 1) * kGranule;
+    if (chunks_.empty() || cur_off_ + bytes > chunk_bytes_) {
+      NewChunk();
+    }
+    void* p = chunks_.back().get() + cur_off_;
+    cur_off_ += bytes;
+    return p;
+  }
+
+  void Free(void* p, size_t size) {
+    assert(live_ > 0);
+    --live_;
+    if (size > kMaxPooled) {
+      ::operator delete(p);
+      return;
+    }
+    auto* node = static_cast<FreeNode*>(p);
+    const size_t cls = ClassOf(size);
+    node->next = free_[cls];
+    free_[cls] = node;
+  }
+
+  template <typename T, typename... A>
+  T* New(A&&... args) {
+    static_assert(alignof(T) <= kGranule, "over-aligned type in arena");
+    return ::new (Alloc(sizeof(T))) T(std::forward<A>(args)...);
+  }
+
+  template <typename T>
+  void Delete(T* p) {
+    p->~T();
+    Free(p, sizeof(T));
+  }
+
+  // Rewinds the bump pointer and clears the free lists. Only legal when
+  // nothing is live; chunks are kept so steady-state runs stop allocating.
+  void Reset() {
+    assert(live_ == 0 && "arena reset with live allocations");
+    for (auto& head : free_) {
+      head = nullptr;
+    }
+    cur_off_ = 0;
+    if (chunks_.size() > 1) {
+      chunks_.resize(1);
+    }
+    ++resets_;
+  }
+
+  size_t live() const { return live_; }
+  uint64_t allocs() const { return allocs_; }
+  uint64_t oversized_allocs() const { return oversized_; }
+  uint64_t resets() const { return resets_; }
+  size_t bytes_reserved() const { return chunks_.size() * chunk_bytes_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static_assert(sizeof(FreeNode) <= kGranule);
+
+  static size_t ClassOf(size_t size) { return (size + kGranule - 1) / kGranule - (size > 0); }
+
+  void NewChunk() {
+    chunks_.push_back(std::make_unique<unsigned char[]>(chunk_bytes_));
+    cur_off_ = 0;
+  }
+
+  size_t chunk_bytes_;
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  size_t cur_off_ = 0;
+  FreeNode* free_[kMaxPooled / kGranule] = {};
+  size_t live_ = 0;
+  uint64_t allocs_ = 0;
+  uint64_t oversized_ = 0;
+  uint64_t resets_ = 0;
+};
+
+// Owning handle to an arena-allocated object: destroys and recycles the slot
+// on destruction. Move-only, two words — small enough to live inline in an
+// InlineFn capture, which is how event callbacks carry arena objects without
+// leaking them when an event loop is torn down with events still queued.
+template <typename T>
+class ArenaPtr {
+ public:
+  ArenaPtr() = default;
+  ArenaPtr(Arena& arena, T* p) : arena_(&arena), p_(p) {}
+  ArenaPtr(ArenaPtr&& o) noexcept
+      : arena_(std::exchange(o.arena_, nullptr)), p_(std::exchange(o.p_, nullptr)) {}
+  ArenaPtr& operator=(ArenaPtr&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      arena_ = std::exchange(o.arena_, nullptr);
+      p_ = std::exchange(o.p_, nullptr);
+    }
+    return *this;
+  }
+  ArenaPtr(const ArenaPtr&) = delete;
+  ArenaPtr& operator=(const ArenaPtr&) = delete;
+  ~ArenaPtr() { Reset(); }
+
+  T* get() const { return p_; }
+  T* operator->() const { return p_; }
+  T& operator*() const { return *p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+ private:
+  void Reset() {
+    if (p_ != nullptr) {
+      arena_->Delete(p_);
+      p_ = nullptr;
+    }
+  }
+
+  Arena* arena_ = nullptr;
+  T* p_ = nullptr;
+};
+
+template <typename T, typename... A>
+ArenaPtr<T> MakeArenaPtr(Arena& arena, A&&... args) {
+  return ArenaPtr<T>(arena, arena.New<T>(std::forward<A>(args)...));
+}
+
+// Process-wide pool for allocations that are small, frequent, and paired with
+// the simulated event that made them — coroutine frames, timed-wait state,
+// QoS envelope boxes. Unlike per-loop arenas it is never Reset; steady state
+// is pure free-list recycling with no malloc traffic.
+inline Arena& GlobalPool() {
+  static Arena pool(1 << 20);
+  return pool;
+}
+
+// Out-of-line GlobalPool() entry points for coroutine frame pooling (see
+// arena.cc for why these are not inline).
+void* PoolAlloc(size_t size);
+void PoolFree(void* p, size_t size) noexcept;
+
+// Minimal std allocator over GlobalPool(), for allocate_shared and friends.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+  T* allocate(size_t n) { return static_cast<T*>(GlobalPool().Alloc(n * sizeof(T))); }
+  void deallocate(T* p, size_t n) { GlobalPool().Free(p, n * sizeof(T)); }
+  bool operator==(const PoolAllocator&) const { return true; }
+};
+
+}  // namespace cheetah
+
+#endif  // SRC_COMMON_ARENA_H_

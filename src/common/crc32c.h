@@ -7,8 +7,14 @@
 
 namespace cheetah {
 
-// Extends `crc` with `data`. Pass 0 to start a fresh checksum.
+// Extends `crc` with `data`. Pass 0 to start a fresh checksum. Dispatches to
+// the SSE4.2 crc32 instruction when available; bit-identical to the portable
+// path either way.
 uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+// Portable slice-by-8 implementation, exposed so tests can assert the
+// hardware and software paths agree.
+uint32_t Crc32cExtendPortable(uint32_t crc, std::string_view data);
 
 inline uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
 

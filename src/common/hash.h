@@ -23,6 +23,24 @@ uint64_t Fnv1a64(std::string_view data);
 // A fast 64-bit avalanche mix (splitmix64 finalizer).
 uint64_t Mix64(uint64_t x);
 
+// xxhash-style single-word avalanche (XXH3's rrmxmx-derived finalizer):
+// multiply-rotate-xor with the xxhash prime constants. Used to key the flat
+// hash tables on the simulator hot path (link faults, pending RPC calls),
+// where the default identity hash of libstdc++ would cluster sequential ids.
+inline uint64_t Xx64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0x9e3779b185ebca87ULL;  // XXH_PRIME64_1
+  x ^= x >> 29;
+  x *= 0xc2b2ae3d27d4eb4fULL;  // XXH_PRIME64_2
+  x ^= x >> 32;
+  return x;
+}
+
+// Hasher functor for 64-bit keys in unordered containers.
+struct XxU64Hash {
+  size_t operator()(uint64_t x) const { return static_cast<size_t>(Xx64(x)); }
+};
+
 }  // namespace cheetah
 
 #endif  // SRC_COMMON_HASH_H_

@@ -1,0 +1,147 @@
+// InlineFn: a move-only callable wrapper with small-buffer optimization.
+//
+// The simulator schedules tens of millions of callbacks per run; wrapping
+// each one in std::function costs a heap allocation whenever the capture
+// exceeds libstdc++'s 16-byte inline buffer (almost always — a typical
+// resume captures an actor pointer, a coroutine handle, an epoch, and an op
+// context). InlineFn stores captures up to 48 bytes directly in the object,
+// falling back to the heap only for oversized or throwing-move captures, and
+// is move-only so storing move-only types (arena handles, coroutine frames)
+// needs no shared_ptr laundering. `heap_allocated()` lets the event loop
+// count inline-vs-heap scheduling so regressions show up in obs output.
+#ifndef SRC_COMMON_INLINE_FN_H_
+#define SRC_COMMON_INLINE_FN_H_
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cheetah {
+
+template <typename Sig>
+class InlineFn;
+
+template <typename R, typename... Args>
+class InlineFn<R(Args...)> {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+  static constexpr size_t kAlign = alignof(std::max_align_t);
+
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= kAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVt<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVt<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(other.buf_, buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { Reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+  bool heap_allocated() const { return vt_ != nullptr && vt_->heap; }
+
+  R operator()(Args... args) {
+    assert(vt_ != nullptr && "calling an empty InlineFn");
+    return vt_->call(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*call)(void*, Args&&...);
+    void (*relocate)(void* src, void* dst) noexcept;  // move into dst, destroy src
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static Fn* Inline(void* b) {
+    return std::launder(reinterpret_cast<Fn*>(b));
+  }
+  template <typename Fn>
+  static Fn* Heap(void* b) {
+    return *std::launder(reinterpret_cast<Fn**>(b));
+  }
+
+  template <typename Fn>
+  static R CallInline(void* b, Args&&... args) {
+    return (*Inline<Fn>(b))(std::forward<Args>(args)...);
+  }
+  template <typename Fn>
+  static void RelocateInline(void* src, void* dst) noexcept {
+    Fn* s = Inline<Fn>(src);
+    ::new (dst) Fn(std::move(*s));
+    s->~Fn();
+  }
+  template <typename Fn>
+  static void DestroyInline(void* b) noexcept {
+    Inline<Fn>(b)->~Fn();
+  }
+
+  template <typename Fn>
+  static R CallHeap(void* b, Args&&... args) {
+    return (*Heap<Fn>(b))(std::forward<Args>(args)...);
+  }
+  template <typename Fn>
+  static void RelocateHeap(void* src, void* dst) noexcept {
+    ::new (dst) Fn*(Heap<Fn>(src));
+  }
+  template <typename Fn>
+  static void DestroyHeap(void* b) noexcept {
+    delete Heap<Fn>(b);
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVt{&CallInline<Fn>, &RelocateInline<Fn>,
+                                    &DestroyInline<Fn>, /*heap=*/false};
+  template <typename Fn>
+  static constexpr VTable kHeapVt{&CallHeap<Fn>, &RelocateHeap<Fn>, &DestroyHeap<Fn>,
+                                  /*heap=*/true};
+
+  void Reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(kAlign) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace cheetah
+
+#endif  // SRC_COMMON_INLINE_FN_H_

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/status.h"
 #include "src/kv/options.h"
 #include "src/obs/metrics.h"
@@ -109,7 +110,13 @@ class DB {
                   scope_.counter("wal_salvaged_records"),
                   scope_.counter("sst_blocks_bad")} {}
 
-  using MemTable = std::map<std::string, std::optional<std::string>>;
+  // Node allocations come from the process-wide pool: the memtable churns one
+  // tree node per applied key, and pooling them keeps the write path off
+  // malloc (behavior is unchanged — an allocator affects neither ordering nor
+  // contents).
+  using MemTable =
+      std::map<std::string, std::optional<std::string>, std::less<std::string>,
+               PoolAllocator<std::pair<const std::string, std::optional<std::string>>>>;
 
   std::string WalName(uint64_t seq) const;
   std::string SstName(uint64_t file_no) const;

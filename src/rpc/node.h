@@ -12,18 +12,25 @@
 // Call<Req>() with a timeout. Crashes surface as timeouts: messages to dead
 // or partitioned nodes are dropped by the network, and a server that dies
 // mid-handler simply never replies.
+//
+// Hot-path layout: every request type gets a process-wide dense id
+// (MsgTypeIdOf<Req>()), so handler dispatch is a flat vector index instead of
+// a type_index hash lookup; envelopes and payloads travel in arena-backed
+// AnyMsg boxes instead of std::any (no malloc per message); duplicate-request
+// bookkeeping — only needed when the chaos network can actually duplicate —
+// is skipped entirely on fault-free runs.
 #ifndef SRC_RPC_NODE_H_
 #define SRC_RPC_NODE_H_
 
-#include <any>
 #include <cassert>
 #include <functional>
 #include <memory>
 #include <set>
-#include <typeindex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/obs/context.h"
@@ -31,6 +38,7 @@
 #include "src/obs/trace.h"
 #include "src/qos/qos.h"
 #include "src/qos/scheduler.h"
+#include "src/sim/any_msg.h"
 #include "src/sim/machine.h"
 #include "src/sim/network.h"
 #include "src/sim/sync.h"
@@ -49,6 +57,20 @@ concept RpcRequest = requires(const Req r) {
   { r.wire_size() } -> std::convertible_to<size_t>;
 } && !std::is_aggregate_v<Req> && !std::is_aggregate_v<typename Req::Response>;
 
+// Process-wide dense message-type ids, assigned on first use. Deterministic
+// for a given binary and schedule (first-touch order is part of the
+// deterministic execution), and small enough that per-node handler tables are
+// flat vectors.
+inline uint32_t& MsgTypeCounter() {
+  static uint32_t n = 0;
+  return n;
+}
+template <typename Req>
+uint32_t MsgTypeIdOf() {
+  static const uint32_t id = MsgTypeCounter()++;
+  return id;
+}
+
 class Node {
  public:
   Node(sim::Machine& machine, sim::Network& net)
@@ -64,7 +86,7 @@ class Node {
   sim::Network& network() { return net_; }
 
   void Attach() {
-    net_.Register(machine_.node_id(), [this](sim::NodeId src, std::any msg, size_t bytes) {
+    net_.Register(machine_.node_id(), [this](sim::NodeId src, sim::AnyMsg msg, size_t bytes) {
       OnMessage(src, std::move(msg), bytes);
     });
     attached_ = true;
@@ -75,6 +97,10 @@ class Node {
       net_.Unregister(machine_.node_id());
       attached_ = false;
     }
+    // Pending-call records live in their caller coroutines' frames. A crash
+    // kills those frames (Machine::CrashProcess) in the same synchronous step
+    // as this Detach, so dropping the pointers here is what keeps them from
+    // dangling.
     pending_.clear();
     if (scheduler_ != nullptr) {
       // Queued-but-undispatched requests die with the process; in-flight
@@ -105,9 +131,14 @@ class Node {
   template <RpcRequest Req>
   void Serve(std::function<sim::Task<Result<typename Req::Response>>(sim::NodeId, Req)> fn,
              qos::TrafficClass cls = qos::TrafficClass::kControl) {
-    handlers_[std::type_index(typeid(Req))] =
-        Handler{cls, [this, fn = std::move(fn)](sim::NodeId src, Envelope env, size_t bytes,
-                                                std::function<void()> done) {
+    const uint32_t tid = MsgTypeIdOf<Req>();
+    if (handlers_.size() <= tid) {
+      handlers_.resize(tid + 1);
+    }
+    handlers_[tid] =
+        Handler{true, cls,
+                [this, fn = std::move(fn)](sim::NodeId src, Envelope env, size_t bytes,
+                                           std::function<void()> done) {
                   machine_.actor().Spawn(
                       HandleOne<Req>(fn, src, std::move(env), bytes, std::move(done)));
                 }};
@@ -128,6 +159,27 @@ class Node {
   size_t pending_calls() const { return pending_.size(); }
 
  private:
+  static constexpr uint32_t kReplyType = 0xffffffffu;
+
+  struct Envelope {
+    Envelope() = default;  // non-aggregate; see the coroutine caution above
+    uint64_t call_id = 0;
+    uint32_t type = kReplyType;  // MsgTypeIdOf<Req>() for requests
+    bool is_reply = false;
+    bool fire_and_forget = false;
+    Status status;
+    sim::AnyMsg payload;
+    obs::OpContext ctx{};  // caller's operation; remote handler spans join it
+  };
+
+  struct PendingCall {
+    sim::Event done;
+    Status status;
+    sim::AnyMsg reply;
+  };
+
+  Arena& arena() { return machine_.loop().arena(); }
+
   template <RpcRequest Req>
   sim::Task<Result<typename Req::Response>> CallImpl(sim::NodeId dst, Req req, Nanos timeout) {
     // One set of metric handles per request type, looked up once.
@@ -142,8 +194,12 @@ class Node {
         obs::Registry::Global().counter("rpc." + kName + ".bytes_sent");
 
     const uint64_t call_id = next_call_id_++;
-    auto state = std::make_shared<PendingCall>();
-    pending_[call_id] = state;
+    // The pending record lives in this coroutine frame; pending_ only holds a
+    // pointer. The frame always outlives the map entry: the normal path
+    // erases below, and crashes destroy the frame in the same synchronous
+    // step as the Detach() that clears the map.
+    PendingCall state;
+    pending_[call_id] = &state;
     const size_t bytes = req.wire_size() + kHeaderBytes;
     calls->Add();
     bytes_sent->Add(bytes);
@@ -154,8 +210,10 @@ class Node {
         tracer.enabled()
             ? tracer.Begin(obs::SpanKind::kRpc, "rpc." + kName, id(), t0, bytes)
             : 0;
-    Envelope env{call_id, /*is_reply=*/false, std::type_index(typeid(Req)), Status::Ok(),
-                 std::move(req)};
+    Envelope env;
+    env.call_id = call_id;
+    env.type = MsgTypeIdOf<Req>();
+    env.payload = sim::AnyMsg::Make<Req>(arena(), std::move(req));
     // The envelope carries the caller's operation with the rpc span as
     // parent, so the remote handler's spans nest under this call.
     env.ctx = obs::OpContext{caller.op, span != 0 ? span : caller.span};
@@ -163,7 +221,7 @@ class Node {
       obs::ContextGuard guard(env.ctx);  // wire span nests under the rpc span
       net_.Send(id(), dst, std::move(env), bytes);
     }
-    const bool fired = co_await state->done.TimedWait(timeout);
+    const bool fired = co_await state.done.TimedWait(timeout);
     pending_.erase(call_id);
     const Nanos t1 = machine_.loop().Now();
     lat->Record(t1 - t0);
@@ -172,11 +230,11 @@ class Node {
       tracer.End(span, t1, /*ok=*/false);
       co_return Status::Timeout("rpc timeout");
     }
-    tracer.End(span, t1, state->status.ok());
-    if (!state->status.ok()) {
-      co_return state->status;
+    tracer.End(span, t1, state.status.ok());
+    if (!state.status.ok()) {
+      co_return state.status;
     }
-    co_return std::any_cast<typename Req::Response>(std::move(state->reply));
+    co_return state.reply.template Take<typename Req::Response>();
   }
 
  public:
@@ -191,8 +249,10 @@ class Node {
     const size_t bytes = req.wire_size() + kHeaderBytes;
     notifies->Add();
     bytes_sent->Add(bytes);
-    Envelope env{next_call_id_++, /*is_reply=*/false, std::type_index(typeid(Req)),
-                 Status::Ok(), std::move(req)};
+    Envelope env;
+    env.call_id = next_call_id_++;
+    env.type = MsgTypeIdOf<Req>();
+    env.payload = sim::AnyMsg::Make<Req>(arena(), std::move(req));
     env.fire_and_forget = true;
     env.ctx = obs::ThisContext();  // handler joins the notifier's operation
     net_.Send(id(), dst, std::move(env), bytes);
@@ -201,22 +261,6 @@ class Node {
  private:
   static constexpr size_t kHeaderBytes = 64;
 
-  struct Envelope {
-    uint64_t call_id;
-    bool is_reply;
-    std::type_index type;
-    Status status;
-    std::any payload;
-    bool fire_and_forget = false;
-    obs::OpContext ctx{};  // caller's operation; remote handler spans join it
-  };
-
-  struct PendingCall {
-    sim::Event done;
-    Status status;
-    std::any reply;
-  };
-
   template <RpcRequest Req>
   sim::Task<> HandleOne(
       std::function<sim::Task<Result<typename Req::Response>>(sim::NodeId, Req)> fn,
@@ -224,7 +268,7 @@ class Node {
     static const std::string kName = obs::ShortTypeName(typeid(Req));
     static obs::Histogram* const handle_lat =
         obs::Registry::Global().histogram("rpc." + kName + ".handle_latency");
-    Req req = std::any_cast<Req>(std::move(env.payload));
+    Req req = env.payload.Take<Req>();
     const bool fire_and_forget = env.fire_and_forget;
     const Nanos t0 = machine_.loop().Now();
     auto& tracer = obs::Tracer::Global();
@@ -248,13 +292,15 @@ class Node {
       }
       co_return;
     }
-    Envelope reply{env.call_id, /*is_reply=*/true, std::type_index(typeid(void)),
-                   result.ok() ? Status::Ok() : result.status(), std::any{}};
+    Envelope reply;
+    reply.call_id = env.call_id;
+    reply.is_reply = true;
+    reply.status = result.ok() ? Status::Ok() : result.status();
     reply.ctx = env.ctx;
     size_t bytes = kHeaderBytes;
     if (result.ok()) {
       bytes += result.value().wire_size();
-      reply.payload = std::move(result).value();
+      reply.payload = sim::AnyMsg::Make<typename Req::Response>(arena(), std::move(result).value());
     }
     // Reply serialization is CPU work too (matters for large GET replies).
     co_await machine_.cpu().Use(
@@ -265,15 +311,15 @@ class Node {
     }
   }
 
-  void OnMessage(sim::NodeId src, std::any msg, size_t wire_bytes) {
-    Envelope env = std::any_cast<Envelope>(std::move(msg));
+  void OnMessage(sim::NodeId src, sim::AnyMsg msg, size_t wire_bytes) {
+    Envelope env = msg.Take<Envelope>();
     if (env.is_reply) {
       auto it = pending_.find(env.call_id);
       if (it == pending_.end()) {
         late_replies_->Add();
         return;  // caller gave up or restarted
       }
-      auto state = it->second;
+      PendingCall* state = it->second;
       state->status = env.status;
       state->reply = std::move(env.payload);
       state->done.Set();
@@ -284,16 +330,21 @@ class Node {
     // sequencing discards it before the application sees it. call_ids are
     // per-(src node) monotonic, so a bounded recent-id window per peer
     // suffices. Replies need no dedup: a duplicate reply lands on an
-    // already-erased pending call and is dropped above.
-    if (IsDuplicateRequest(src, env.call_id)) {
-      dup_requests_->Add();
-      return;
+    // already-erased pending call and is dropped above. The whole check is
+    // skipped — no window bookkeeping at all — unless the network has ever
+    // been configured to duplicate.
+    if (net_.dup_faults_possible()) {
+      if (IsDuplicateRequest(src, env.call_id)) {
+        dup_requests_->Add();
+        return;
+      }
+    } else {
+      dedup_skipped_->Add();
     }
-    auto hit = handlers_.find(env.type);
-    if (hit == handlers_.end()) {
+    if (env.type >= handlers_.size() || !handlers_[env.type].registered) {
       return;  // no such service here; drop (caller times out)
     }
-    Handler& handler = hit->second;
+    Handler& handler = handlers_[env.type];
     if (scheduler_ == nullptr || handler.cls == qos::TrafficClass::kControl) {
       handler.dispatch(src, std::move(env), wire_bytes, nullptr);
       return;
@@ -310,7 +361,7 @@ class Node {
     const bool fire_and_forget = env.fire_and_forget;
     const uint64_t call_id = env.call_id;
     const obs::OpContext ctx = env.ctx;
-    auto env_ptr = std::make_shared<Envelope>(std::move(env));
+    auto env_ptr = std::allocate_shared<Envelope>(PoolAllocator<Envelope>(), std::move(env));
     qos::Scheduler::RejectFn reject;
     if (fire_and_forget) {
       // Nobody to tell; the notification just evaporates under overload.
@@ -320,8 +371,10 @@ class Node {
     } else {
       reject = [this, src, call_id, ctx, qspan](Nanos retry_after) {
         obs::Tracer::Global().End(qspan, machine_.loop().Now(), /*ok=*/false);
-        Envelope bounce{call_id, /*is_reply=*/true, std::type_index(typeid(void)),
-                        qos::OverloadedStatus(retry_after), std::any{}};
+        Envelope bounce;
+        bounce.call_id = call_id;
+        bounce.is_reply = true;
+        bounce.status = qos::OverloadedStatus(retry_after);
         bounce.ctx = ctx;
         net_.Send(id(), src, std::move(bounce), kHeaderBytes);
       };
@@ -356,6 +409,7 @@ class Node {
   };
 
   struct Handler {
+    bool registered = false;
     qos::TrafficClass cls = qos::TrafficClass::kControl;
     std::function<void(sim::NodeId, Envelope, size_t, std::function<void()>)> dispatch;
   };
@@ -365,13 +419,15 @@ class Node {
   obs::Counter* late_replies_;
   obs::Counter* dup_requests_ =
       obs::Registry::Global().counter("rpc.duplicate_requests_dropped");
+  obs::Counter* dedup_skipped_ =
+      obs::Registry::Global().counter("rpc.dedup_fast_path");
   bool attached_ = false;
   uint64_t next_call_id_ = 1;
   qos::Scheduler* scheduler_ = nullptr;
   HandlerCosts costs_;
-  std::unordered_map<std::type_index, Handler> handlers_;
+  std::vector<Handler> handlers_;  // indexed by MsgTypeIdOf<Req>()
   std::unordered_map<sim::NodeId, Seen> seen_requests_;
-  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_;
+  std::unordered_map<uint64_t, PendingCall*, XxU64Hash> pending_;
 };
 
 }  // namespace cheetah::rpc

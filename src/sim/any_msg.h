@@ -1,0 +1,135 @@
+// AnyMsg: type-erased message box backed by the event loop's arena.
+//
+// Replaces std::any on the network/RPC payload path. A std::any holding an
+// rpc envelope heap-allocates on construction and again for the payload it
+// wraps; AnyMsg is two words (slot pointer + arena pointer) whose storage
+// comes from the simulator arena in O(1) and is recycled the moment the
+// message is consumed. Move-only; the chaos duplication fault is the one
+// consumer of copies, so copying is supported but asserts the held type is
+// copy-constructible.
+#ifndef SRC_SIM_ANY_MSG_H_
+#define SRC_SIM_ANY_MSG_H_
+
+#include <cassert>
+#include <type_traits>
+#include <utility>
+
+#include "src/common/arena.h"
+
+namespace cheetah::sim {
+
+class AnyMsg {
+ public:
+  AnyMsg() = default;
+
+  template <typename T>
+  static AnyMsg Make(Arena& arena, T value) {
+    static_assert(!std::is_same_v<T, AnyMsg>, "nesting AnyMsg in AnyMsg");
+    AnyMsg m;
+    m.arena_ = &arena;
+    auto* slot = arena.New<Slot<T>>(std::move(value));
+    slot->header.destroy = &DestroySlot<T>;
+    slot->header.clone = &CloneSlot<T>;
+    slot->header.tag = Tag<T>();
+    m.slot_ = &slot->header;
+    return m;
+  }
+
+  AnyMsg(AnyMsg&& o) noexcept
+      : arena_(std::exchange(o.arena_, nullptr)), slot_(std::exchange(o.slot_, nullptr)) {}
+  AnyMsg& operator=(AnyMsg&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      arena_ = std::exchange(o.arena_, nullptr);
+      slot_ = std::exchange(o.slot_, nullptr);
+    }
+    return *this;
+  }
+
+  // Deep copy (chaos duplication faults only). Asserts at runtime if the held
+  // type is not copy-constructible.
+  AnyMsg(const AnyMsg& o) : arena_(o.arena_) {
+    if (o.slot_ != nullptr) {
+      slot_ = o.slot_->clone(o.slot_, *arena_);
+    }
+  }
+  AnyMsg& operator=(const AnyMsg& o) {
+    if (this != &o) {
+      Reset();
+      arena_ = o.arena_;
+      slot_ = o.slot_ != nullptr ? o.slot_->clone(o.slot_, *arena_) : nullptr;
+    }
+    return *this;
+  }
+
+  ~AnyMsg() { Reset(); }
+
+  bool has_value() const { return slot_ != nullptr; }
+
+  template <typename T>
+  bool Is() const {
+    return slot_ != nullptr && slot_->tag == Tag<T>();
+  }
+
+  // Moves the value out and recycles the slot. The held type must match.
+  template <typename T>
+  T Take() {
+    assert(Is<T>() && "AnyMsg type mismatch");
+    auto* slot = reinterpret_cast<Slot<T>*>(slot_);
+    T value = std::move(slot->value);
+    arena_->Delete(slot);
+    slot_ = nullptr;
+    return value;
+  }
+
+ private:
+  struct Header {
+    void (*destroy)(Header*, Arena&) noexcept;
+    Header* (*clone)(const Header*, Arena&);
+    const void* tag;
+  };
+  template <typename T>
+  struct Slot {
+    explicit Slot(T v) : value(std::move(v)) {}
+    Header header;
+    T value;
+  };
+
+  template <typename T>
+  static const void* Tag() {
+    static constexpr char tag = 0;
+    return &tag;
+  }
+
+  template <typename T>
+  static void DestroySlot(Header* h, Arena& arena) noexcept {
+    arena.Delete(reinterpret_cast<Slot<T>*>(h));
+  }
+
+  template <typename T>
+  static Header* CloneSlot(const Header* h, Arena& arena) {
+    if constexpr (std::is_copy_constructible_v<T>) {
+      const auto* src = reinterpret_cast<const Slot<T>*>(h);
+      auto* slot = arena.New<Slot<T>>(src->value);
+      slot->header = src->header;
+      return &slot->header;
+    } else {
+      assert(false && "copying an AnyMsg holding a move-only type");
+      return nullptr;
+    }
+  }
+
+  void Reset() {
+    if (slot_ != nullptr) {
+      slot_->destroy(slot_, *arena_);
+      slot_ = nullptr;
+    }
+  }
+
+  Arena* arena_ = nullptr;
+  Header* slot_ = nullptr;
+};
+
+}  // namespace cheetah::sim
+
+#endif  // SRC_SIM_ANY_MSG_H_

@@ -1,47 +1,201 @@
 #include "src/sim/event_loop.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "src/obs/context.h"
 
 namespace cheetah::sim {
 
-void EventLoop::ScheduleAt(Nanos time, std::function<void()> fn) {
-  assert(time >= now_ && "cannot schedule in the past");
-  queue_.push(Event{time, next_seq_++, std::move(fn)});
+namespace {
+std::optional<EventLoop::Engine> g_engine_override;
+}  // namespace
+
+void EventLoop::OverrideDefaultEngine(std::optional<Engine> engine) {
+  g_engine_override = engine;
 }
 
-bool EventLoop::RunOne() {
-  if (queue_.empty()) {
+EventLoop::Engine EventLoop::DefaultEngine() {
+  if (g_engine_override.has_value()) {
+    return *g_engine_override;
+  }
+  if (const char* env = std::getenv("CHEETAH_SIM_ENGINE")) {
+    if (std::strcmp(env, "heap") == 0) {
+      return Engine::kHeap;
+    }
+  }
+  return Engine::kWheel;
+}
+
+EventLoop::EventLoop(Engine engine)
+    : engine_(engine),
+      scope_("sim.loop"),
+      events_fired_(scope_.counter("events_fired")),
+      callbacks_inline_(scope_.counter("callbacks_inline")),
+      callbacks_heap_(scope_.counter("callbacks_heap")),
+      overflow_promotions_(scope_.counter("overflow_promotions")),
+      arena_bytes_(scope_.gauge("arena_bytes_reserved")),
+      arena_live_(scope_.gauge("arena_live")),
+      arena_resets_(scope_.counter("arena_resets")) {
+  if (engine_ == Engine::kWheel) {
+    slots_.resize(kSlots);
+  }
+}
+
+void EventLoop::ScheduleAt(Nanos time, Callback fn) {
+  assert(time >= now_ && "cannot schedule in the past");
+  if (fn.heap_allocated()) {
+    callbacks_heap_->Add();
+  } else {
+    callbacks_inline_->Add();
+  }
+  Event ev{time, next_seq_++, std::move(fn)};
+  if (engine_ == Engine::kHeap) {
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return;
+  }
+  const uint64_t tick = TickOf(time);
+  if (tick <= active_tick_) {
+    // The tick currently being drained (or one that became reachable after a
+    // RunUntil fast-forward): must participate in ordered dispatch now.
+    active_.push_back(std::move(ev));
+    std::push_heap(active_.begin(), active_.end(), Later{});
+  } else if (tick - active_tick_ < kSlots) {
+    auto& slot = slots_[tick & kSlotMask];
+    slot.push_back(std::move(ev));
+    occupied_[(tick & kSlotMask) >> 6] |= uint64_t{1} << (tick & 63);
+    ++wheel_count_;
+  } else {
+    overflow_.push_back(std::move(ev));
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+uint64_t EventLoop::NextOccupiedTick() const {
+  if (wheel_count_ == 0) {
+    return kNoTick;
+  }
+  // Circular scan over the occupancy bitmap starting just after the active
+  // tick. Any occupied slot within the window maps back to a unique tick.
+  const uint64_t start = (active_tick_ + 1) & kSlotMask;
+  size_t word = start >> 6;
+  uint64_t bits = occupied_[word] & (~uint64_t{0} << (start & 63));
+  for (size_t scanned = 0; scanned <= kSlots / 64; ++scanned) {
+    if (bits != 0) {
+      const uint64_t pos = (word << 6) | static_cast<uint64_t>(std::countr_zero(bits));
+      const uint64_t delta = ((pos - start) & kSlotMask) + 1;
+      return active_tick_ + delta;
+    }
+    word = (word + 1) & ((kSlots / 64) - 1);
+    bits = occupied_[word];
+  }
+  return kNoTick;
+}
+
+bool EventLoop::Advance() {
+  if (!active_.empty()) {
+    return true;
+  }
+  const uint64_t wheel_tick = NextOccupiedTick();
+  const uint64_t over_tick = overflow_.empty() ? kNoTick : TickOf(overflow_.front().time);
+  const uint64_t next = std::min(wheel_tick, over_tick);
+  if (next == kNoTick) {
     return false;
   }
-  // priority_queue::top returns const&, but the element is about to be
-  // popped, so moving it out is safe and avoids copying the callback.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  active_tick_ = next;
+  if (wheel_tick == next) {
+    auto& slot = slots_[next & kSlotMask];
+    wheel_count_ -= slot.size();
+    occupied_[(next & kSlotMask) >> 6] &= ~(uint64_t{1} << (next & 63));
+    active_.swap(slot);  // recycles both vectors' capacity
+  }
+  while (!overflow_.empty() && TickOf(overflow_.front().time) == next) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    active_.push_back(std::move(overflow_.back()));
+    overflow_.pop_back();
+    overflow_promotions_->Add();
+  }
+  std::make_heap(active_.begin(), active_.end(), Later{});
+  return true;
+}
+
+EventLoop::Event EventLoop::PopStaged() {
+  if (engine_ == Engine::kHeap) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+  std::pop_heap(active_.begin(), active_.end(), Later{});
+  Event ev = std::move(active_.back());
+  active_.pop_back();
+  return ev;
+}
+
+void EventLoop::FireEvent(Event& ev) {
   now_ = ev.time;
+  events_fired_->Add();
   // Each event starts with a clean op context; events that resume a
   // coroutine on behalf of an operation install its context themselves.
   obs::SetContext({});
   ev.fn();
+}
+
+void EventLoop::MaybeQuiesce() {
+  if (pending_events() == 0 && arena_.live() == 0) {
+    arena_.Reset();
+    arena_resets_->Add();
+    PublishArenaStats();
+  }
+}
+
+void EventLoop::PublishArenaStats() {
+  arena_bytes_->Set(static_cast<int64_t>(arena_.bytes_reserved()));
+  arena_live_->Set(static_cast<int64_t>(arena_.live()));
+}
+
+bool EventLoop::RunOne() {
+  if (engine_ == Engine::kHeap ? heap_.empty() : !Advance()) {
+    return false;
+  }
+  Event ev = PopStaged();
+  FireEvent(ev);
+  // Release the capture before the quiesce check: it may hold the last live
+  // arena object (e.g. an ArenaPtr), which would otherwise block the reset.
+  ev.fn = nullptr;
+  MaybeQuiesce();
   return true;
 }
 
 void EventLoop::Run() {
   while (RunOne()) {
   }
+  PublishArenaStats();
 }
 
 void EventLoop::RunUntil(Nanos deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    obs::SetContext({});
-    ev.fn();
+  while (true) {
+    if (engine_ == Engine::kHeap) {
+      if (heap_.empty() || heap_.front().time > deadline) {
+        break;
+      }
+    } else {
+      if (!Advance() || active_.front().time > deadline) {
+        break;
+      }
+    }
+    Event ev = PopStaged();
+    FireEvent(ev);
+    ev.fn = nullptr;  // as in RunOne: drop the capture before the quiesce check
+    MaybeQuiesce();
   }
   now_ = std::max(now_, deadline);
+  PublishArenaStats();
 }
 
 }  // namespace cheetah::sim

@@ -9,7 +9,11 @@
 namespace cheetah::sim {
 
 void Network::Register(NodeId id, Handler handler) {
+  if (id >= endpoints_.size()) {
+    endpoints_.resize(id + 1);
+  }
   Endpoint& ep = endpoints_[id];
+  ep.registered = true;
   ep.handler = std::move(handler);
   if (!ep.nic) {
     ep.nic = std::make_unique<Resource>(loop_, params_.nic_lanes);
@@ -17,11 +21,17 @@ void Network::Register(NodeId id, Handler handler) {
   }
 }
 
-void Network::Unregister(NodeId id) { endpoints_.erase(id); }
+void Network::Unregister(NodeId id) {
+  if (id < endpoints_.size()) {
+    // Match the old map-erase semantics: a re-registered node gets fresh NIC
+    // queue state, not the dead process's leftover reservations.
+    endpoints_[id] = Endpoint{};
+  }
+}
 
 const LinkFaults& Network::FaultsFor(NodeId a, NodeId b) const {
   if (!link_faults_.empty()) {
-    auto it = link_faults_.find(Norm(a, b));
+    auto it = link_faults_.find(LinkKey(a, b));
     if (it != link_faults_.end()) {
       return it->second;
     }
@@ -29,47 +39,50 @@ const LinkFaults& Network::FaultsFor(NodeId a, NodeId b) const {
   return default_faults_;
 }
 
-void Network::ScheduleDelivery(NodeId src, NodeId dst, std::any msg, size_t bytes,
+void Network::ScheduleDelivery(NodeId src, NodeId dst, AnyMsg msg, size_t bytes,
                                Nanos arrive, obs::OpContext ctx, uint64_t wire_span) {
   auto& tracer = obs::Tracer::Global();
   if (wire_span != 0) {
     tracer.End(wire_span, arrive);
   }
-  loop_.ScheduleAt(arrive, [this, src, dst, m = std::move(msg), bytes, ctx]() mutable {
-    auto dit = endpoints_.find(dst);
-    if (dit == endpoints_.end() || Partitioned(src, dst)) {
+  // One arena record per in-flight message; the callback capture is two
+  // pointers, well inside the event loop's inline budget, and the record is
+  // recycled (or torn down with the arena) even if the event never fires.
+  auto d = MakeArenaPtr<Delivery>(loop_.arena(),
+                                  Delivery{src, dst, bytes, ctx, std::move(msg)});
+  loop_.ScheduleAt(arrive, [this, d = std::move(d)]() mutable {
+    if (!IsRegistered(d->dst) || Partitioned(d->src, d->dst)) {
       dropped_->Add();
       return;
     }
-    obs::ContextGuard guard(ctx);
-    dit->second.handler(src, std::move(m), bytes);
+    obs::ContextGuard guard(d->ctx);
+    endpoints_[d->dst].handler(d->src, std::move(d->msg), d->bytes);
   });
 }
 
-void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
+void Network::Send(NodeId src, NodeId dst, AnyMsg msg, size_t bytes) {
   sent_->Add();
   bytes_->Add(bytes);
-  auto sit = endpoints_.find(src);
-  if (sit == endpoints_.end()) {
+  if (!IsRegistered(src)) {
     dropped_->Add();
     return;  // sender died between deciding to send and sending
   }
+  Endpoint& sep = endpoints_[src];
   Nanos arrive;
-  bool loopback = src == dst;
+  const bool loopback = src == dst;
   if (loopback) {
     arrive = loop_.Now() + params_.loopback_latency;
   } else {
     const Nanos tx_nanos =
         static_cast<Nanos>(static_cast<double>(bytes) / params_.bw_bytes_per_sec * 1e9);
-    const Nanos departed = sit->second.nic->Reserve(tx_nanos);
+    const Nanos departed = sep.nic->Reserve(tx_nanos);
     arrive = departed + params_.base_latency;
     // Receive-side occupancy: the message's bytes also serialize into the
     // receiver, starting no earlier than first-byte arrival. Uncontended
     // this reproduces departed + base_latency exactly; contended receptions
     // queue behind each other.
-    auto dit = endpoints_.find(dst);
-    if (dit != endpoints_.end() && dit->second.rx) {
-      arrive = dit->second.rx->ReserveFrom(arrive - tx_nanos, tx_nanos);
+    if (IsRegistered(dst) && endpoints_[dst].rx) {
+      arrive = endpoints_[dst].rx->ReserveFrom(arrive - tx_nanos, tx_nanos);
     }
   }
   // The wire span and the delivery both belong to the sender's operation; the
@@ -84,28 +97,33 @@ void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
   }
   // Chaos faults, non-loopback only. Draws happen in a fixed order
   // (drop, delay, dup) so a seed replays the identical fault sequence; a
-  // fault-free run consumes no randomness at all.
+  // fault-free run consumes no randomness at all and — the common case —
+  // never even looks the link up.
   if (!loopback) {
-    const LinkFaults& f = FaultsFor(src, dst);
-    if (f.active()) {
-      const Nanos spread = f.max_extra_delay > 0 ? f.max_extra_delay : params_.base_latency;
-      if (f.drop_prob > 0 && fault_rng_.Bernoulli(f.drop_prob)) {
-        fault_dropped_->Add();
-        if (wire != 0) {
-          tracer.End(wire, arrive, /*ok=*/false);
+    if (!faults_possible()) {
+      fault_fast_path_->Add();
+    } else {
+      const LinkFaults& f = FaultsFor(src, dst);
+      if (f.active()) {
+        const Nanos spread = f.max_extra_delay > 0 ? f.max_extra_delay : params_.base_latency;
+        if (f.drop_prob > 0 && fault_rng_.Bernoulli(f.drop_prob)) {
+          fault_dropped_->Add();
+          if (wire != 0) {
+            tracer.End(wire, arrive, /*ok=*/false);
+          }
+          return;  // paid its NIC time, then the wire ate it
         }
-        return;  // paid its NIC time, then the wire ate it
-      }
-      if (f.delay_prob > 0 && fault_rng_.Bernoulli(f.delay_prob)) {
-        fault_delayed_->Add();
-        arrive += fault_rng_.UniformRange(1, spread);
-      }
-      if (f.dup_prob > 0 && fault_rng_.Bernoulli(f.dup_prob)) {
-        fault_duplicated_->Add();
-        const Nanos dup_arrive = arrive + fault_rng_.UniformRange(1, spread);
-        std::any copy = msg;  // copy before the primary send consumes it
-        ScheduleDelivery(src, dst, std::move(copy), bytes, dup_arrive, ctx,
-                         /*wire_span=*/0);
+        if (f.delay_prob > 0 && fault_rng_.Bernoulli(f.delay_prob)) {
+          fault_delayed_->Add();
+          arrive += fault_rng_.UniformRange(1, spread);
+        }
+        if (f.dup_prob > 0 && fault_rng_.Bernoulli(f.dup_prob)) {
+          fault_duplicated_->Add();
+          const Nanos dup_arrive = arrive + fault_rng_.UniformRange(1, spread);
+          AnyMsg copy = msg;  // deep copy before the primary send consumes it
+          ScheduleDelivery(src, dst, std::move(copy), bytes, dup_arrive, ctx,
+                           /*wire_span=*/0);
+        }
       }
     }
   }
@@ -113,19 +131,12 @@ void Network::Send(NodeId src, NodeId dst, std::any msg, size_t bytes) {
 }
 
 void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
-  auto key = std::minmax(a, b);
+  const uint64_t key = LinkKey(a, b);
   if (partitioned) {
     partitions_.insert(key);
   } else {
     partitions_.erase(key);
   }
-}
-
-bool Network::Partitioned(NodeId a, NodeId b) const {
-  if (a == b) {
-    return false;
-  }
-  return partitions_.contains(std::minmax(a, b));
 }
 
 }  // namespace cheetah::sim

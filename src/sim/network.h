@@ -12,22 +12,32 @@
 // receive side was modeled. Messages to dead or partitioned nodes are
 // silently dropped — callers recover via RPC timeouts, exactly as the
 // paper's servers do.
+//
+// Hot-path layout: endpoints live in a flat vector indexed by NodeId (ids are
+// small and dense), payloads travel as arena-backed AnyMsg boxes instead of
+// std::any, the delivery callback captures one arena pointer so it stays
+// inside the event loop's inline-callback budget, and per-link fault state is
+// an xxhash-keyed flat map that is consulted only when some fault is actually
+// registered — a fault-free run pays a single branch per send.
 #ifndef SRC_SIM_NETWORK_H_
 #define SRC_SIM_NETWORK_H_
 
-#include <any>
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
+#include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/random.h"
 #include "src/common/units.h"
 #include "src/obs/context.h"
 #include "src/obs/metrics.h"
+#include "src/sim/any_msg.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/resource.h"
 
@@ -61,7 +71,7 @@ struct LinkFaults {
 
 class Network {
  public:
-  using Handler = std::function<void(NodeId src, std::any msg, size_t bytes)>;
+  using Handler = std::function<void(NodeId src, AnyMsg msg, size_t bytes)>;
 
   Network(EventLoop& loop, NetParams params)
       : loop_(loop),
@@ -73,48 +83,92 @@ class Network {
 
   void Register(NodeId id, Handler handler);
   void Unregister(NodeId id);
-  bool IsRegistered(NodeId id) const { return endpoints_.contains(id); }
+  bool IsRegistered(NodeId id) const {
+    return id < endpoints_.size() && endpoints_[id].registered;
+  }
 
   // Fire-and-forget send; delivery is scheduled on the event loop.
-  void Send(NodeId src, NodeId dst, std::any msg, size_t bytes);
+  void Send(NodeId src, NodeId dst, AnyMsg msg, size_t bytes);
+
+  // Convenience overload boxing any payload type into the loop's arena.
+  template <typename T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, AnyMsg>)
+  void Send(NodeId src, NodeId dst, T msg, size_t bytes) {
+    Send(src, dst, AnyMsg::Make<T>(loop_.arena(), std::move(msg)), bytes);
+  }
 
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
   void ClearPartitions() { partitions_.clear(); }
-  bool Partitioned(NodeId a, NodeId b) const;
+  bool Partitioned(NodeId a, NodeId b) const {
+    if (a == b || partitions_.empty()) {
+      return false;
+    }
+    return partitions_.contains(LinkKey(a, b));
+  }
 
   // --- chaos fault injection -------------------------------------------
   // Faults apply to non-loopback sends only. Per-link settings (normalized
   // unordered pair) override the default. When no faults are active the send
-  // path consumes no randomness, so enabling chaos never perturbs the
-  // deterministic schedule of a fault-free run.
+  // path consumes no randomness and never touches the fault table, so
+  // enabling chaos never perturbs the deterministic schedule of a fault-free
+  // run.
   void SeedFaults(uint64_t seed) { fault_rng_ = Rng(seed); }
-  void SetDefaultLinkFaults(const LinkFaults& f) { default_faults_ = f; }
+  void SetDefaultLinkFaults(const LinkFaults& f) {
+    default_faults_ = f;
+    NoteFaults(f);
+  }
   void SetLinkFaults(NodeId a, NodeId b, const LinkFaults& f) {
-    link_faults_[Norm(a, b)] = f;
+    link_faults_[LinkKey(a, b)] = f;
+    NoteFaults(f);
   }
   void ClearLinkFaults() {
     default_faults_ = LinkFaults{};
     link_faults_.clear();
   }
 
+  // True once any duplication fault has ever been configured this run.
+  // rpc::Node consults this to skip duplicate-request bookkeeping entirely on
+  // fault-free runs (sticky: in-flight duplicates must still be caught after
+  // faults are cleared).
+  bool dup_faults_possible() const { return dup_faults_seen_; }
+
   uint64_t messages_sent() const { return sent_->value(); }
   uint64_t messages_dropped() const { return dropped_->value(); }
   uint64_t messages_fault_dropped() const { return fault_dropped_->value(); }
   uint64_t messages_duplicated() const { return fault_duplicated_->value(); }
   uint64_t messages_delayed() const { return fault_delayed_->value(); }
+  uint64_t fault_free_fast_path() const { return fault_fast_path_->value(); }
 
  private:
   struct Endpoint {
+    bool registered = false;
     Handler handler;
     std::unique_ptr<Resource> nic;  // transmit lanes
     std::unique_ptr<Resource> rx;   // receive lanes (full duplex)
   };
 
-  static std::pair<NodeId, NodeId> Norm(NodeId a, NodeId b) {
-    return {std::min(a, b), std::max(a, b)};
+  // In-flight delivery record, arena-allocated so the event-loop callback
+  // only captures two pointers.
+  struct Delivery {
+    NodeId src;
+    NodeId dst;
+    size_t bytes;
+    obs::OpContext ctx;
+    AnyMsg msg;
+  };
+
+  static uint64_t LinkKey(NodeId a, NodeId b) {
+    const auto [lo, hi] = std::minmax(a, b);
+    return (static_cast<uint64_t>(lo) << 32) | hi;
   }
+  void NoteFaults(const LinkFaults& f) {
+    if (f.dup_prob > 0) {
+      dup_faults_seen_ = true;
+    }
+  }
+  bool faults_possible() const { return default_faults_.active() || !link_faults_.empty(); }
   const LinkFaults& FaultsFor(NodeId a, NodeId b) const;
-  void ScheduleDelivery(NodeId src, NodeId dst, std::any msg, size_t bytes,
+  void ScheduleDelivery(NodeId src, NodeId dst, AnyMsg msg, size_t bytes,
                         Nanos arrive, obs::OpContext ctx, uint64_t wire_span);
 
   EventLoop& loop_;
@@ -126,11 +180,13 @@ class Network {
   obs::Counter* fault_dropped_ = scope_.counter("fault_dropped");
   obs::Counter* fault_duplicated_ = scope_.counter("fault_duplicated");
   obs::Counter* fault_delayed_ = scope_.counter("fault_delayed");
-  std::unordered_map<NodeId, Endpoint> endpoints_;
-  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  obs::Counter* fault_fast_path_ = scope_.counter("fault_free_fast_path");
+  std::vector<Endpoint> endpoints_;  // indexed by NodeId (ids are dense)
+  std::unordered_set<uint64_t, XxU64Hash> partitions_;  // LinkKey(a, b)
   Rng fault_rng_{0xc4a05u};
   LinkFaults default_faults_;
-  std::map<std::pair<NodeId, NodeId>, LinkFaults> link_faults_;
+  std::unordered_map<uint64_t, LinkFaults, XxU64Hash> link_faults_;  // LinkKey
+  bool dup_faults_seen_ = false;
 };
 
 }  // namespace cheetah::sim

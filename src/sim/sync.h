@@ -46,6 +46,8 @@ class Event {
   struct TimedState {
     bool settled = false;
     bool event_fired = false;
+    obs::OpContext ctx{};  // waiter's op context; lives here, not in the
+                           // timeout capture, to keep the callback inline
   };
 
   struct WaitAwaiter {
@@ -71,21 +73,20 @@ class Event {
     bool await_ready() const noexcept { return event.set_; }
     void await_suspend(std::coroutine_handle<> h) {
       assert(actor && "Event::TimedWait outside an actor coroutine");
-      state = std::make_shared<TimedState>();
-      const obs::OpContext ctx = obs::ThisContext();
-      event.waiters_.push_back({actor, actor->epoch(), h, state, ctx});
-      actor->loop().ScheduleAfter(
-          timeout, [a = actor, e = actor->epoch(), h, s = state, ctx] {
-            if (s->settled) {
-              return;
-            }
-            s->settled = true;
-            s->event_fired = false;
-            if (a->AliveAt(e)) {
-              obs::ContextGuard guard(ctx);
-              h.resume();
-            }
-          });
+      state = std::allocate_shared<TimedState>(PoolAllocator<TimedState>());
+      state->ctx = obs::ThisContext();
+      event.waiters_.push_back({actor, actor->epoch(), h, state, state->ctx});
+      actor->loop().ScheduleAfter(timeout, [a = actor, e = actor->epoch(), h, s = state] {
+        if (s->settled) {
+          return;
+        }
+        s->settled = true;
+        s->event_fired = false;
+        if (a->AliveAt(e)) {
+          obs::ContextGuard guard(s->ctx);
+          h.resume();
+        }
+      });
     }
     bool await_resume() const noexcept { return state ? state->event_fired : true; }
   };
@@ -197,7 +198,7 @@ Task<std::vector<T>> WhenAll(std::vector<Task<T>> tasks) {
     Latch latch;
     explicit State(size_t n) : results(n), latch(static_cast<int>(n)) {}
   };
-  auto state = std::make_shared<State>(n);
+  auto state = std::allocate_shared<State>(PoolAllocator<State>(), n);
   for (size_t i = 0; i < n; ++i) {
     actor->Spawn([](std::shared_ptr<State> s, size_t idx, Task<T> t) -> Task<> {
       s->results[idx] = co_await std::move(t);

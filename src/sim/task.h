@@ -25,6 +25,8 @@
 #include <utility>
 #include <variant>
 
+#include "src/common/arena.h"
+
 namespace cheetah::sim {
 
 class Actor;
@@ -39,6 +41,13 @@ namespace internal {
 struct PromiseBase {
   Actor* actor = nullptr;
   std::coroutine_handle<> continuation;
+
+  // Coroutine frames come from the process-wide size-class pool, not malloc:
+  // the simulator creates one or more frames per RPC, and in steady state
+  // every allocation here is a free-list pop. The sized delete is what
+  // coroutine frame deallocation uses.
+  static void* operator new(size_t n) { return PoolAlloc(n); }
+  static void operator delete(void* p, size_t n) noexcept { PoolFree(p, n); }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -19,6 +19,7 @@
 #include "src/chaos/history.h"
 #include "src/chaos/nemesis.h"
 #include "src/core/testbed.h"
+#include "src/sim/event_loop.h"
 #include "tests/test_util.h"
 
 namespace cheetah::chaos {
@@ -267,6 +268,14 @@ TEST(ChaosDeterminism, SameSeedSameHistory) {
   EXPECT_EQ(a.schedule_str, b.schedule_str);
   EXPECT_EQ(a.history.Serialize(), b.history.Serialize());
   EXPECT_FALSE(a.history.Serialize().empty());
+  // Cross-engine guard: the reference heap engine must replay the identical
+  // run byte for byte — the timer wheel is only allowed to be faster, never
+  // different.
+  sim::EventLoop::OverrideDefaultEngine(sim::EventLoop::Engine::kHeap);
+  SweepResult c = RunSweep(Variant::kBase, /*schedule=*/5, /*seed=*/1);
+  sim::EventLoop::OverrideDefaultEngine(std::nullopt);
+  EXPECT_EQ(a.schedule_str, c.schedule_str);
+  EXPECT_EQ(a.history.Serialize(), c.history.Serialize());
 }
 
 // The checker must catch a real consistency bug: with the persist-ack wait

@@ -26,6 +26,7 @@
 #include "src/common/crc32c.h"
 #include "src/core/scrubber.h"
 #include "src/core/testbed.h"
+#include "src/sim/event_loop.h"
 #include "src/tier/engine.h"
 
 namespace cheetah::chaos {
@@ -313,6 +314,14 @@ TEST(EcDeterminism, SameSeedSameRun) {
   EXPECT_EQ(a.schedule_str, b.schedule_str);
   EXPECT_EQ(a.fingerprint, b.fingerprint);
   EXPECT_FALSE(a.fingerprint.empty());
+  // Cross-engine guard: the reference heap engine must replay the identical
+  // run byte for byte — the timer wheel is only allowed to be faster, never
+  // different.
+  sim::EventLoop::OverrideDefaultEngine(sim::EventLoop::Engine::kHeap);
+  EcSweepResult c = RunEcSweep(1);
+  sim::EventLoop::OverrideDefaultEngine(std::nullopt);
+  EXPECT_EQ(a.schedule_str, c.schedule_str);
+  EXPECT_EQ(a.fingerprint, c.fingerprint);
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include "src/common/crc32c.h"
 #include "src/core/scrubber.h"
 #include "src/core/testbed.h"
+#include "src/sim/event_loop.h"
 #include "tests/test_util.h"
 
 namespace cheetah::chaos {
@@ -281,6 +282,14 @@ TEST(IntegrityDeterminism, SameSeedSameRun) {
   EXPECT_EQ(a.schedule_str, b.schedule_str);
   EXPECT_EQ(a.fingerprint, b.fingerprint);
   EXPECT_FALSE(a.fingerprint.empty());
+  // Cross-engine guard: the reference heap engine must replay the identical
+  // run byte for byte — the timer wheel is only allowed to be faster, never
+  // different.
+  sim::EventLoop::OverrideDefaultEngine(sim::EventLoop::Engine::kHeap);
+  IntegrityResult c = RunIntegrity(1, /*with_nemesis=*/true, /*scrub_on=*/true);
+  sim::EventLoop::OverrideDefaultEngine(std::nullopt);
+  EXPECT_EQ(a.schedule_str, c.schedule_str);
+  EXPECT_EQ(a.fingerprint, c.fingerprint);
 }
 
 // Scrub overhead: with no faults at all, foreground get p99 with the

@@ -20,6 +20,7 @@
 #include "src/chaos/history.h"
 #include "src/chaos/nemesis.h"
 #include "src/core/testbed.h"
+#include "src/sim/event_loop.h"
 #include "tests/test_util.h"
 
 namespace cheetah::chaos {
@@ -244,6 +245,14 @@ TEST(MigrationDeterminism, SameSeedSameHistory) {
   EXPECT_EQ(a.schedule_str, b.schedule_str);
   EXPECT_EQ(a.history.Serialize(), b.history.Serialize());
   EXPECT_FALSE(a.history.Serialize().empty());
+  // Cross-engine guard: the reference heap engine must replay the identical
+  // run byte for byte — the timer wheel is only allowed to be faster, never
+  // different.
+  sim::EventLoop::OverrideDefaultEngine(sim::EventLoop::Engine::kHeap);
+  SweepResult c = RunSweep(/*fault_idx=*/0, /*seed=*/1);
+  sim::EventLoop::OverrideDefaultEngine(std::nullopt);
+  EXPECT_EQ(a.schedule_str, c.schedule_str);
+  EXPECT_EQ(a.history.Serialize(), c.history.Serialize());
 }
 
 }  // namespace

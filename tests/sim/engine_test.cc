@@ -1,0 +1,366 @@
+// Simulator engine internals: the hierarchical timer wheel vs the reference
+// heap engine, InlineFn small-buffer callbacks, the bump-pointer Arena, and
+// the AnyMsg arena-backed message box.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/inline_fn.h"
+#include "src/common/random.h"
+#include "src/common/units.h"
+#include "src/sim/any_msg.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+
+namespace cheetah::sim {
+namespace {
+
+// ---- timer wheel vs reference heap ---------------------------------------
+
+// Ties at one timestamp must fire in schedule order, including when the
+// events were inserted across a bucket-staging boundary (some before the
+// slot was staged into the active heap, some after).
+TEST(TimerWheel, SeqTieBreakAcrossBucketBoundary) {
+  EventLoop loop(EventLoop::Engine::kWheel);
+  std::vector<int> order;
+  const Nanos t = 3 * 4096 + 7;  // mid-slot, a few buckets out
+  loop.ScheduleAt(t, [&] { order.push_back(0); });
+  loop.ScheduleAt(t, [&] { order.push_back(1); });
+  // An earlier event whose firing schedules two more ties at t: by then t's
+  // bucket may already be staged, so these take the tick<=active insert path.
+  loop.ScheduleAt(t - 1, [&loop, &order, t] {
+    loop.ScheduleAt(t, [&] { order.push_back(2); });
+    loop.ScheduleAt(t, [&] { order.push_back(3); });
+  });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Events beyond the wheel horizon park in the overflow heap and are promoted
+// when their tick comes up, interleaved correctly with in-wheel events.
+TEST(TimerWheel, FarFutureOverflowPromotion) {
+  EventLoop loop(EventLoop::Engine::kWheel);
+  std::vector<int> order;
+  const Nanos horizon = 4096 * 4096;  // kSlots << kSlotBits
+  loop.ScheduleAt(3 * horizon + 5, [&] { order.push_back(2); });      // overflow
+  loop.ScheduleAt(3 * horizon + 4, [&] { order.push_back(1); });      // overflow
+  loop.ScheduleAt(100, [&loop, &order, horizon] {                     // in-wheel
+    order.push_back(0);
+    loop.ScheduleAt(3 * horizon + 6, [&] { order.push_back(3); });    // overflow again
+  });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+// A randomized schedule (mixed near/far/tied timestamps, reschedules from
+// inside callbacks) must fire in the identical order on both engines, and
+// RunUntil must drain exactly the same prefix at every deadline.
+TEST(TimerWheel, RandomizedScheduleMatchesReferenceHeap) {
+  auto drive = [](EventLoop::Engine engine) {
+    EventLoop loop(engine);
+    std::vector<std::pair<Nanos, int>> fired;
+    Rng rng(0xfeedu);
+    struct Ctx {
+      EventLoop* loop;
+      std::vector<std::pair<Nanos, int>>* fired;
+      Rng* rng;
+      int next_id = 1000;
+    } ctx{&loop, &fired, &rng};
+    for (int i = 0; i < 200; ++i) {
+      const Nanos t = rng.Uniform(50'000'000);  // spans ~3000 wheel ticks
+      loop.ScheduleAt(t, [&ctx, i] {
+        ctx.fired->emplace_back(ctx.loop->Now(), i);
+        if (ctx.fired->size() % 3 == 0) {  // reschedule churn from callbacks
+          const int id = ctx.next_id++;
+          ctx.loop->ScheduleAfter(ctx.rng->Uniform(20'000'000),
+                                  [&ctx, id] { ctx.fired->emplace_back(ctx.loop->Now(), id); });
+        }
+      });
+    }
+    // Drain in uneven RunUntil steps, then finish with Run(); the clock must
+    // land exactly on each deadline even when the queue is briefly empty.
+    loop.RunUntil(10'000'000);
+    EXPECT_EQ(loop.Now(), 10'000'000);
+    const size_t after_first = fired.size();
+    loop.RunUntil(10'000'000);  // idempotent: nothing left at/below deadline
+    EXPECT_EQ(fired.size(), after_first);
+    loop.RunUntil(31'234'567);
+    EXPECT_EQ(loop.Now(), 31'234'567);
+    loop.Run();
+    return fired;
+  };
+  const auto wheel = drive(EventLoop::Engine::kWheel);
+  const auto heap = drive(EventLoop::Engine::kHeap);
+  EXPECT_EQ(wheel, heap);
+  EXPECT_GT(wheel.size(), 200u);
+}
+
+TEST(TimerWheel, RunUntilAdvancesClockOnEmptyQueue) {
+  EventLoop loop;
+  loop.RunUntil(Millis(5));
+  EXPECT_EQ(loop.Now(), Millis(5));
+  bool fired = false;
+  loop.ScheduleAfter(Micros(1), [&] { fired = true; });
+  loop.RunFor(Micros(2));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.Now(), Millis(5) + Micros(2));
+}
+
+TEST(TimerWheel, EnvAndOverrideSelectEngine) {
+  EventLoop::OverrideDefaultEngine(EventLoop::Engine::kHeap);
+  EventLoop as_heap;
+  EXPECT_EQ(as_heap.engine(), EventLoop::Engine::kHeap);
+  EventLoop::OverrideDefaultEngine(std::nullopt);
+  EventLoop as_default;
+  EXPECT_EQ(as_default.engine(), EventLoop::Engine::kWheel);
+}
+
+// ---- callback lifecycle (the old priority_queue::top() const-cast bug) ----
+
+// A callback must be moved out of the queue and destroyed exactly once after
+// firing — never copied. Tracks every special member; with the old
+// std::function-based queue a copyable callable could be silently copied by
+// the const_cast-move workaround's fallback paths.
+struct LifecycleProbe {
+  int* copies;
+  int* destroys;
+  LifecycleProbe(int* c, int* d) : copies(c), destroys(d) {}
+  LifecycleProbe(const LifecycleProbe& o) : copies(o.copies), destroys(o.destroys) {
+    ++*copies;
+  }
+  LifecycleProbe(LifecycleProbe&& o) noexcept : copies(o.copies), destroys(o.destroys) {
+    o.copies = nullptr;
+    o.destroys = nullptr;
+  }
+  ~LifecycleProbe() {
+    if (destroys != nullptr) {
+      ++*destroys;
+    }
+  }
+};
+
+TEST(CallbackLifecycle, FiredCallbackIsNeverCopied) {
+  int copies = 0;
+  int destroys = 0;
+  {
+    EventLoop loop;
+    loop.ScheduleAfter(10, [p = LifecycleProbe(&copies, &destroys)] { (void)p; });
+    loop.Run();
+    EXPECT_EQ(copies, 0);
+    EXPECT_EQ(destroys, 1);  // destroyed right after firing, not at loop teardown
+  }
+  EXPECT_EQ(copies, 0);
+  EXPECT_EQ(destroys, 1);
+}
+
+TEST(CallbackLifecycle, UnfiredCallbackDestroyedAtTeardown) {
+  int copies = 0;
+  int destroys = 0;
+  {
+    EventLoop loop;
+    loop.ScheduleAfter(10, [p = LifecycleProbe(&copies, &destroys)] { (void)p; });
+    // Never run: teardown must destroy the pending callback exactly once.
+  }
+  EXPECT_EQ(copies, 0);
+  EXPECT_EQ(destroys, 1);
+}
+
+// Move-only captures must compile and work (std::function required copyable).
+TEST(CallbackLifecycle, MoveOnlyCapture) {
+  EventLoop loop;
+  auto owned = std::make_unique<int>(42);
+  int got = 0;
+  loop.ScheduleAfter(5, [o = std::move(owned), &got] { got = *o; });
+  loop.Run();
+  EXPECT_EQ(got, 42);
+}
+
+// ---- InlineFn -------------------------------------------------------------
+
+TEST(InlineFn, SmallCaptureStaysInline) {
+  int x = 7;
+  InlineFn<int()> fn([&x] { return x + 1; });
+  EXPECT_FALSE(fn.heap_allocated());
+  EXPECT_EQ(fn(), 8);
+}
+
+TEST(InlineFn, LargeCaptureFallsBackToHeap) {
+  struct Big {
+    char bytes[96];
+  } big{};
+  big.bytes[0] = 3;
+  InlineFn<int()> fn([big] { return static_cast<int>(big.bytes[0]); });
+  EXPECT_TRUE(fn.heap_allocated());
+  EXPECT_EQ(fn(), 3);
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  auto owned = std::make_unique<std::string>("hello");
+  InlineFn<size_t()> a([o = std::move(owned)] { return o->size(); });
+  InlineFn<size_t()> b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): post-move emptiness is the contract
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b(), 5u);
+  InlineFn<size_t()> c;
+  c = std::move(b);
+  EXPECT_EQ(c(), 5u);
+}
+
+TEST(InlineFn, ArgumentsArePassedThrough) {
+  InlineFn<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 40), 42);
+}
+
+// ---- Arena ----------------------------------------------------------------
+
+TEST(Arena, RecyclesFreedBlocksBySizeClass) {
+  Arena arena(4096);
+  void* a = arena.Alloc(48);
+  arena.Free(a, 48);
+  void* b = arena.Alloc(40);  // same 48-byte class: must reuse the block
+  EXPECT_EQ(a, b);
+  arena.Free(b, 40);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(Arena, NewDeleteRunConstructorsAndRecycle) {
+  Arena arena(4096);
+  auto* s = arena.New<std::string>("arena-backed string long enough to heap-allocate");
+  EXPECT_EQ(s->substr(0, 5), "arena");
+  arena.Delete(s);
+  EXPECT_EQ(arena.live(), 0u);
+  EXPECT_EQ(arena.allocs(), 1u);
+}
+
+TEST(Arena, OversizedAllocationsPassThrough) {
+  Arena arena(4096);
+  void* big = arena.Alloc(5000);
+  EXPECT_EQ(arena.oversized_allocs(), 1u);
+  arena.Free(big, 5000);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(Arena, ResetRewindsAndKeepsOneChunk) {
+  Arena arena(256);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    blocks.push_back(arena.Alloc(64));  // forces several chunks
+  }
+  const size_t grown = arena.bytes_reserved();
+  EXPECT_GT(grown, 256u);
+  for (void* b : blocks) {
+    arena.Free(b, 64);
+  }
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_reserved(), 256u);
+  EXPECT_EQ(arena.resets(), 1u);
+}
+
+TEST(Arena, ArenaPtrOwnsAndReleasesOnDestruction) {
+  Arena arena(4096);
+  {
+    ArenaPtr<std::string> p = MakeArenaPtr<std::string>(arena, "owned");
+    EXPECT_EQ(*p, "owned");
+    EXPECT_EQ(arena.live(), 1u);
+  }
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+// The loop's arena resets at quiescent points, so steady-state runs stop
+// growing: schedule-fire cycles that allocate via the arena reconverge.
+TEST(Arena, LoopArenaQuiescesBetweenBursts) {
+  EventLoop loop;
+  for (int burst = 0; burst < 3; ++burst) {
+    for (int i = 0; i < 100; ++i) {
+      auto rec = MakeArenaPtr<std::string>(loop.arena(), "payload");
+      loop.ScheduleAfter(i + 1, [r = std::move(rec)] { (void)*r; });
+    }
+    loop.Run();
+    EXPECT_EQ(loop.arena().live(), 0u);
+  }
+  EXPECT_GE(loop.arena().resets(), 3u);
+}
+
+// ---- AnyMsg ---------------------------------------------------------------
+
+TEST(AnyMsg, RoundTripsValueThroughArena) {
+  Arena arena(4096);
+  AnyMsg m = AnyMsg::Make<std::string>(arena, "message body");
+  EXPECT_TRUE(m.has_value());
+  EXPECT_TRUE(m.Is<std::string>());
+  EXPECT_FALSE(m.Is<int>());
+  EXPECT_EQ(m.Take<std::string>(), "message body");
+  EXPECT_FALSE(m.has_value());
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(AnyMsg, MoveOnlyPayloadsWork) {
+  Arena arena(4096);
+  AnyMsg m = AnyMsg::Make<std::unique_ptr<int>>(arena, std::make_unique<int>(9));
+  AnyMsg n = std::move(m);
+  EXPECT_FALSE(m.has_value());  // NOLINT(bugprone-use-after-move)
+  auto p = n.Take<std::unique_ptr<int>>();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(AnyMsg, DeepCopyForChaosDuplication) {
+  Arena arena(4096);
+  AnyMsg m = AnyMsg::Make<std::string>(arena, "dup me");
+  AnyMsg copy = m;  // the chaos-dup path
+  EXPECT_EQ(m.Take<std::string>(), "dup me");
+  EXPECT_EQ(copy.Take<std::string>(), "dup me");
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(AnyMsg, DroppedMessageReleasesSlot) {
+  Arena arena(4096);
+  {
+    AnyMsg m = AnyMsg::Make<std::string>(arena, "never delivered");
+    EXPECT_EQ(arena.live(), 1u);
+  }
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+// ---- Network fault-free fast path -----------------------------------------
+
+TEST(NetworkFastPath, SkipsFaultLookupUntilFaultsRegistered) {
+  EventLoop loop;
+  Network net(loop, NetParams{});
+  int delivered = 0;
+  net.Register(1, [](auto...) {});
+  net.Register(2, [&](NodeId, AnyMsg, size_t) { ++delivered; });
+
+  net.Send(1, 2, std::string("clean"), 100);
+  loop.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.fault_free_fast_path(), 1u);
+  EXPECT_FALSE(net.dup_faults_possible());
+
+  // Registering any active fault disables the fast path for later sends.
+  LinkFaults f;
+  f.dup_prob = 1.0;
+  f.max_extra_delay = 10;
+  net.SeedFaults(7);
+  net.SetDefaultLinkFaults(f);
+  net.Send(1, 2, std::string("dup me"), 100);
+  loop.Run();
+  EXPECT_EQ(delivered, 3);  // original + duplicated copy
+  EXPECT_EQ(net.fault_free_fast_path(), 1u);  // unchanged: slow path taken
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+
+  // dup_faults_possible is sticky across ClearLinkFaults: in-flight
+  // duplicates must still be caught by rpc dedup after faults are cleared.
+  net.ClearLinkFaults();
+  EXPECT_TRUE(net.dup_faults_possible());
+  net.Send(1, 2, std::string("clean again"), 100);
+  loop.Run();
+  EXPECT_EQ(net.fault_free_fast_path(), 2u);  // inactive faults: fast again
+}
+
+}  // namespace
+}  // namespace cheetah::sim

@@ -51,8 +51,8 @@ TEST(NetworkFaults, DuplicateDeliversTwice) {
   Network net(loop, NetParams{});
   std::vector<std::string> got;
   net.Register(1, [](auto...) {});
-  net.Register(2, [&](NodeId, std::any msg, size_t) {
-    got.push_back(std::any_cast<std::string>(msg));
+  net.Register(2, [&](NodeId, sim::AnyMsg msg, size_t) {
+    got.push_back(msg.Take<std::string>());
   });
   LinkFaults f;
   f.dup_prob = 1.0;

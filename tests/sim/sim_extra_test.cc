@@ -77,7 +77,7 @@ TEST(NetworkExtraTest, LoopbackIsFastAndUnpartitionable) {
   NetParams params;
   Network net(loop, params);
   Nanos arrived = 0;
-  net.Register(5, [&](NodeId, std::any, size_t) { arrived = loop.Now(); });
+  net.Register(5, [&](NodeId, sim::AnyMsg, size_t) { arrived = loop.Now(); });
   net.SetPartitioned(5, 5, true);  // self-partition must be ignored
   net.Send(5, 5, 0, 100);
   loop.Run();
@@ -145,8 +145,8 @@ TEST(NetworkExtraTest, UncontendedArrivalIsUnchangedByReceiveModel) {
   NetParams params;
   Network net(loop, params);
   Nanos arrived = 0;
-  net.Register(1, [](NodeId, std::any, size_t) {});
-  net.Register(2, [&](NodeId, std::any, size_t) { arrived = loop.Now(); });
+  net.Register(1, [](NodeId, sim::AnyMsg, size_t) {});
+  net.Register(2, [&](NodeId, sim::AnyMsg, size_t) { arrived = loop.Now(); });
   const size_t bytes = 31 << 20;  // 31MB at 3.1GB/s = 10ms serialization
   const Nanos tx =
       static_cast<Nanos>(static_cast<double>(bytes) / params.bw_bytes_per_sec * 1e9);
@@ -162,9 +162,9 @@ TEST(NetworkExtraTest, ConcurrentBulkReceivesContendForBandwidth) {
   NetParams params;
   Network net(loop, params);
   std::vector<Nanos> arrived;
-  net.Register(1, [](NodeId, std::any, size_t) {});
-  net.Register(2, [](NodeId, std::any, size_t) {});
-  net.Register(3, [&](NodeId, std::any, size_t) { arrived.push_back(loop.Now()); });
+  net.Register(1, [](NodeId, sim::AnyMsg, size_t) {});
+  net.Register(2, [](NodeId, sim::AnyMsg, size_t) {});
+  net.Register(3, [&](NodeId, sim::AnyMsg, size_t) { arrived.push_back(loop.Now()); });
   const size_t bytes = 31 << 20;  // 10ms of wire each
   const Nanos tx =
       static_cast<Nanos>(static_cast<double>(bytes) / params.bw_bytes_per_sec * 1e9);

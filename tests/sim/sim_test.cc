@@ -455,7 +455,7 @@ TEST(NetworkTest, DeliversWithLatency) {
   Network net(loop, NetParams{});
   Nanos arrived = 0;
   net.Register(1, [](auto...) {});
-  net.Register(2, [&](NodeId src, std::any msg, size_t bytes) { arrived = loop.Now(); });
+  net.Register(2, [&](NodeId src, sim::AnyMsg msg, size_t bytes) { arrived = loop.Now(); });
   net.Send(1, 2, std::string("hi"), 100);
   loop.Run();
   EXPECT_GE(arrived, Micros(60));
